@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Figures Format Hashtbl Int64 List Measure Printf Staged String Subql Sys Test Time Toolkit

@@ -1,0 +1,241 @@
+(* olap_cli — generate warehouse data, run SQL with any engine, explain
+   plans.
+
+   Examples:
+     olap_cli generate --workload netflow --flows 100000 --out /tmp/warehouse
+     olap_cli run "SELECT * FROM User u WHERE EXISTS (SELECT * FROM Flow f \
+                   WHERE f.SourceIP = u.IPAddress)" --engine gmdj-opt --time
+     olap_cli explain "SELECT ..." *)
+
+open Subql_relational
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Data sources                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let netflow_catalog ~flows ~users ~seed =
+  Subql_workload.Netflow.generate
+    {
+      Subql_workload.Netflow.default_config with
+      Subql_workload.Netflow.n_flows = flows;
+      n_users = users;
+      seed = Int64.of_int seed;
+    }
+
+let tpc_catalog ~scale ~seed =
+  let config = Subql_workload.Tpc.scaled scale in
+  Subql_workload.Tpc.generate { config with Subql_workload.Tpc.seed = Int64.of_int seed }
+
+(* On-disk format: <table>.csv plus <table>.schema with one
+   "<name> <type>" line per column. *)
+
+let ty_of_string = function
+  | "int" -> Value.Tint
+  | "float" -> Value.Tfloat
+  | "string" -> Value.Tstring
+  | "bool" -> Value.Tbool
+  | other -> failwith (Printf.sprintf "unknown column type %S in schema file" other)
+
+let save_catalog dir catalog =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun name ->
+      let rel = Catalog.find catalog name in
+      Table_io.to_csv_file (Filename.concat dir (name ^ ".csv")) rel;
+      let oc = open_out (Filename.concat dir (name ^ ".schema")) in
+      Schema.to_list (Relation.schema rel)
+      |> List.iter (fun a ->
+             Printf.fprintf oc "%s %s\n" a.Schema.name (Value.ty_to_string a.Schema.ty));
+      close_out oc;
+      Printf.printf "wrote %s (%d rows)\n" (name ^ ".csv") (Relation.cardinality rel))
+    (Catalog.tables catalog)
+
+let load_catalog dir =
+  let catalog = Catalog.create () in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".schema")
+  |> List.iter (fun schema_file ->
+         let table = Filename.chop_suffix schema_file ".schema" in
+         let attrs =
+           In_channel.with_open_text (Filename.concat dir schema_file) In_channel.input_lines
+           |> List.filter (fun l -> String.trim l <> "")
+           |> List.map (fun line ->
+                  match String.split_on_char ' ' (String.trim line) with
+                  | [ name; ty ] -> Schema.attr name (ty_of_string ty)
+                  | _ -> failwith (Printf.sprintf "malformed schema line %S" line))
+         in
+         let schema = Schema.of_list attrs in
+         let rel = Table_io.of_csv_file schema (Filename.concat dir (table ^ ".csv")) in
+         Catalog.add catalog table rel);
+  catalog
+
+let resolve_catalog data workload flows users scale seed =
+  match data with
+  | Some dir -> load_catalog dir
+  | None -> (
+    match workload with
+    | "netflow" -> netflow_catalog ~flows ~users ~seed
+    | "tpc" -> tpc_catalog ~scale ~seed
+    | other -> failwith (Printf.sprintf "unknown workload %S (use netflow or tpc)" other))
+
+(* ------------------------------------------------------------------ *)
+(* Engines                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let engine_names =
+  [ "auto"; "native"; "native-plain"; "unnest"; "unnest-noidx"; "gmdj"; "gmdj-scan"; "gmdj-opt" ]
+
+let run_engine engine catalog query =
+  match engine with
+  | "auto" -> Subql.Planner.run catalog query
+  | "native" -> Subql_nested.Naive_eval.eval ~mode:Subql_nested.Naive_eval.Smart catalog query
+  | "native-plain" ->
+    Subql_nested.Naive_eval.eval ~mode:Subql_nested.Naive_eval.Plain catalog query
+  | "unnest" -> Subql.Eval.eval catalog (Subql_unnest.Unnest.best catalog query)
+  | "unnest-noidx" ->
+    Subql.Eval.eval ~config:Subql.Eval.unindexed_config catalog
+      (Subql_unnest.Unnest.best catalog query)
+  | "gmdj" -> Subql.Eval.eval catalog (Subql.Transform.to_algebra query)
+  | "gmdj-scan" ->
+    Subql.Eval.eval ~config:Subql.Eval.unindexed_config catalog
+      (Subql.Transform.to_algebra query)
+  | "gmdj-opt" ->
+    Subql.Eval.eval catalog (Subql.Optimize.optimize (Subql.Transform.to_algebra query))
+  | other ->
+    failwith
+      (Printf.sprintf "unknown engine %S (known: %s)" other (String.concat ", " engine_names))
+
+let parse_sql sql =
+  match Subql_sql.Parser.parse sql with
+  | stmt -> stmt
+  | exception Subql_sql.Parser.Parse_error _ ->
+    prerr_endline (Subql_sql.Parser.parse_exn_to_string sql);
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Common options                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let data_arg =
+  Arg.(value & opt (some string) None & info [ "data" ] ~docv:"DIR" ~doc:"Load tables from $(docv) (as written by $(b,generate)).")
+
+let workload_arg =
+  Arg.(value & opt string "netflow" & info [ "workload" ] ~docv:"NAME" ~doc:"Built-in workload: $(b,netflow) or $(b,tpc).")
+
+let flows_arg =
+  Arg.(value & opt int 50_000 & info [ "flows" ] ~doc:"Number of Flow rows (netflow).")
+
+let users_arg =
+  Arg.(value & opt int 500 & info [ "users" ] ~doc:"Number of User rows (netflow).")
+
+let scale_arg =
+  Arg.(value & opt float 0.001 & info [ "scale" ] ~doc:"Scale factor (tpc).")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.")
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let generate_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let run workload flows users scale seed out =
+    let catalog = resolve_catalog None workload flows users scale seed in
+    save_catalog out catalog
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a workload and write it as CSV files")
+    Term.(const run $ workload_arg $ flows_arg $ users_arg $ scale_arg $ seed_arg $ out_arg)
+
+let sql_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
+
+let run_cmd =
+  let engine_arg =
+    Arg.(value & opt string "gmdj-opt" & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:(Printf.sprintf "One of: %s." (String.concat ", " engine_names)))
+  in
+  let time_arg = Arg.(value & flag & info [ "time" ] ~doc:"Report evaluation time.") in
+  let analyze_arg =
+    Arg.(value & flag & info [ "analyze" ] ~doc:"Print the instrumented operator tree (gmdj engines only).")
+  in
+  let limit_arg =
+    Arg.(value & opt int 50 & info [ "limit" ] ~doc:"Print at most this many rows.")
+  in
+  let run data workload flows users scale seed engine timed analyze limit sql =
+    let catalog = resolve_catalog data workload flows users scale seed in
+    let stmt = parse_sql sql in
+    let t0 = Unix.gettimeofday () in
+    let result =
+      if analyze then begin
+        let plan =
+          match engine with
+          | "gmdj" | "gmdj-scan" -> Subql.Transform.to_algebra stmt.Subql_sql.Parser.query
+          | _ ->
+            Subql.Optimize.optimize (Subql.Transform.to_algebra stmt.Subql_sql.Parser.query)
+        in
+        let config =
+          if engine = "gmdj-scan" || engine = "unnest-noidx" then Subql.Eval.unindexed_config
+          else Subql.Eval.default_config
+        in
+        let result, trace = Subql.Eval.eval_traced ~config catalog plan in
+        Format.printf "%a@." Subql.Eval.pp_trace trace;
+        result
+      end
+      else run_engine engine catalog stmt.Subql_sql.Parser.query
+    in
+    let result = Subql_sql.Parser.apply_grouping stmt result in
+    let result = Subql_sql.Parser.apply_post stmt result in
+    let dt = Unix.gettimeofday () -. t0 in
+    Format.printf "%a" Relation.pp (Ops.limit limit result);
+    if Relation.cardinality result > limit then
+      Format.printf "(%d rows total, showing %d)@." (Relation.cardinality result) limit;
+    if timed then Format.printf "engine %s: %.3fs@." engine dt
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Parse and evaluate a SQL query")
+    Term.(
+      const run $ data_arg $ workload_arg $ flows_arg $ users_arg $ scale_arg $ seed_arg
+      $ engine_arg $ time_arg $ analyze_arg $ limit_arg $ sql_arg)
+
+let explain_cmd =
+  let run data workload flows users scale seed sql =
+    let stmt = parse_sql sql in
+    let query = stmt.Subql_sql.Parser.query in
+    Format.printf "Nested query expression:@.  %a@.@." Subql_nested.Nested_ast.pp_query query;
+    let plan = Subql.Transform.to_algebra query in
+    Format.printf "SubqueryToGMDJ translation:@.@[<v 2>  %a@]@.@." Subql.Algebra.pp plan;
+    Format.printf "After coalescing and completion:@.@[<v 2>  %a@]@.@." Subql.Algebra.pp
+      (Subql.Optimize.optimize plan);
+    (match Subql_unnest.Unnest.via_semijoins (Catalog.create ()) query with
+    | alg -> Format.printf "Classical join unnesting:@.@[<v 2>  %a@]@.@." Subql.Algebra.pp alg
+    | exception Subql_unnest.Unnest.Not_applicable reason ->
+      Format.printf "Classical join unnesting: not applicable (%s)@.@." reason);
+    let catalog = resolve_catalog data workload flows users scale seed in
+    Format.printf "Cost-based ranking over this catalog:@.";
+    List.iter
+      (fun c ->
+        Format.printf "  %-18s cost %12.0f, est. rows %8.0f@." c.Subql.Planner.label
+          c.Subql.Planner.estimate.Subql.Cost.cost c.Subql.Planner.estimate.Subql.Cost.rows)
+      (Subql.Planner.candidates catalog query)
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show the plans every engine would run")
+    Term.(
+      const run $ data_arg $ workload_arg $ flows_arg $ users_arg $ scale_arg $ seed_arg
+      $ sql_arg)
+
+let bench_note_cmd =
+  let run () =
+    print_endline "The figure-reproduction harness lives in a separate executable:";
+    print_endline "  dune exec bench/main.exe -- [fig2|fig3|fig4|fig5|fig5-noindex|ablation|micro|all] [--full]"
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"Where to find the benchmark harness") Term.(const run $ const ())
+
+let () =
+  let doc = "Subquery evaluation with GMDJs (Akinde & Böhlen, ICDE 2003)" in
+  let info = Cmd.info "olap_cli" ~doc in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; run_cmd; explain_cmd; bench_note_cmd ]))

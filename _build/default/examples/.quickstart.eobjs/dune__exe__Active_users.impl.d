@@ -1,0 +1,1 @@
+examples/active_users.ml: Expr Format Naive_eval Nested_ast Netflow Relation Subql Subql_nested Subql_relational Subql_workload Unix

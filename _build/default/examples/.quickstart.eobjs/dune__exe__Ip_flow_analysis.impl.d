@@ -1,0 +1,1 @@
+examples/ip_flow_analysis.ml: Aggregate Catalog Expr Format Gmdj Nested_ast Netflow Ops Relation Subql Subql_gmdj Subql_nested Subql_relational Subql_workload Unix

@@ -1,0 +1,1 @@
+examples/ip_flow_analysis.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aggregate Catalog Expr Format Gmdj Ops Relation Schema Subql Subql_gmdj Subql_relational Subql_sql Value

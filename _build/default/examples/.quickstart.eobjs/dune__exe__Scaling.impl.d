@@ -1,0 +1,1 @@
+examples/scaling.ml: Aggregate Catalog Distributed Domain Expr Format Gmdj List Netflow Ops Relation Subql Subql_gmdj Subql_relational Subql_sql Subql_workload Unix

@@ -1,0 +1,1 @@
+examples/tpch_subqueries.ml: Catalog Format List Relation Subql Subql_nested Subql_relational Subql_sql Subql_unnest Subql_workload Tpc Unix

@@ -1,0 +1,70 @@
+(* Active users: Examples 3.3 and 3.4 of the paper.
+
+   "Which user accounts have been the source of traffic in every hour?"
+   — universal quantification phrased as a double existential negation.
+   The inner NOT EXISTS references the User table across the Hours
+   scope (a non-neighboring correlation predicate), so the translation
+   pushes a distinct projection of User down into the inner GMDJ's
+   base-values expression (Theorems 3.3/3.4) — the only case where the
+   algorithm introduces an extra join.
+
+   Run with: dune exec examples/active_users.exe *)
+
+open Subql_relational
+open Subql_nested
+open Subql_workload
+module N = Nested_ast
+
+let attr = Expr.attr
+
+let catalog =
+  Netflow.generate
+    {
+      Netflow.default_config with
+      Netflow.n_flows = 40_000;
+      n_hours = 12;
+      n_users = 50;
+      n_source_ips = 30;
+      n_dest_ips = 30;
+      user_ip_match_fraction = 0.9;
+    }
+
+(* σ[∄ σ[θ_H ∧ ∄ σ[θ_F](Flow)](Hours)](User): no hour without traffic
+   from the user's address. *)
+let query =
+  let theta_f =
+    Expr.conjoin
+      [
+        Expr.ge (attr ~rel:"f" "StartTime") (attr ~rel:"h" "StartInterval");
+        Expr.lt (attr ~rel:"f" "StartTime") (attr ~rel:"h" "EndInterval");
+        Expr.eq (attr ~rel:"f" "SourceIP") (attr ~rel:"u" "IPAddress");
+      ]
+  in
+  N.query
+    ~select:(N.Select_cols [ (Some "u", "UserName"); (Some "u", "IPAddress") ])
+    ~base:(N.table "User") ~alias:"u"
+    (N.not_exists
+       ~where:(N.not_exists ~where:(N.atom theta_f) (N.table "Flow") "f")
+       (N.table "Hours") "h")
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let () =
+  Format.printf "Relational division via double NOT EXISTS (Example 3.3):@.@.%a@.@."
+    N.pp_query query;
+  let plan = Subql.Transform.to_algebra query in
+  Format.printf "Translated plan (note the pushed-down distinct User columns@.";
+  Format.printf "in the inner GMDJ's base — Example 3.4):@.@.@[%a@]@.@." Subql.Algebra.pp plan;
+  let t_naive, naive = time (fun () -> Naive_eval.eval catalog query) in
+  let t_gmdj, gmdj = time (fun () -> Subql.Eval.eval catalog plan) in
+  let t_opt, opt =
+    time (fun () -> Subql.Eval.eval catalog (Subql.Optimize.optimize plan))
+  in
+  assert (Relation.equal_as_multiset naive gmdj);
+  assert (Relation.equal_as_multiset naive opt);
+  Format.printf "Users active in every hour:@.%a@." Relation.pp gmdj;
+  Format.printf "naive tuple iteration: %.3fs, GMDJ: %.3fs, optimized GMDJ: %.3fs@." t_naive
+    t_gmdj t_opt

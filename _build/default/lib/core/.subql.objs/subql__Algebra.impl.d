@@ -1,0 +1,1 @@
+lib/core/algebra.ml: Aggregate Array Expr Format Gmdj List Schema String Subql_gmdj Subql_relational Value

@@ -1,0 +1,1 @@
+lib/core/algebra.mli: Aggregate Expr Format Gmdj Schema Subql_gmdj Subql_relational

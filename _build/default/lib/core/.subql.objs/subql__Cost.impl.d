@@ -1,0 +1,1 @@
+lib/core/cost.ml: Algebra Array Catalog Eval Expr Float Gmdj Hashtbl List Relation Schema Subql_gmdj Subql_relational Value

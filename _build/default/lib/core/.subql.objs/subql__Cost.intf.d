@@ -1,0 +1,1 @@
+lib/core/cost.mli: Algebra Catalog Eval Expr Subql_relational

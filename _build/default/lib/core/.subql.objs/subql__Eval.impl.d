@@ -1,0 +1,1 @@
+lib/core/eval.ml: Algebra Catalog Expr Format Gmdj List Ops Printf Relation Schema String Subql_gmdj Subql_relational Unix

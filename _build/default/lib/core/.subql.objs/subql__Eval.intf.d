@@ -1,0 +1,1 @@
+lib/core/eval.mli: Algebra Catalog Format Gmdj Ops Relation Schema Subql_gmdj Subql_relational

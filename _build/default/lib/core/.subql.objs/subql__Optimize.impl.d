@@ -1,0 +1,1 @@
+lib/core/optimize.ml: Aggregate Algebra Expr Gmdj List Option String Subql_gmdj Subql_relational Value

@@ -1,0 +1,1 @@
+lib/core/planner.ml: Algebra Catalog Cost Eval Float Fun List Optimize Option Subql_nested Subql_relational Transform

@@ -1,0 +1,1 @@
+lib/core/planner.mli: Algebra Catalog Cost Eval Relation Subql_nested Subql_relational

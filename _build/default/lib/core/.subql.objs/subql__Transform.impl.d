@@ -1,0 +1,1 @@
+lib/core/transform.ml: Aggregate Algebra Expr Format Gmdj List Printf Subql_gmdj Subql_nested Subql_relational

@@ -1,0 +1,1 @@
+lib/core/transform.mli: Algebra Expr Subql_nested Subql_relational

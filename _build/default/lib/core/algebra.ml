@@ -1,0 +1,205 @@
+open Subql_relational
+open Subql_gmdj
+
+type join_kind = Inner | Left_outer | Semi | Anti
+
+type t =
+  | Table of string
+  | Rename of string * t
+  | Select of Expr.t * t
+  | Project of (Expr.t * string) list * t
+  | Project_cols of { cols : (string option * string) list; distinct : bool; input : t }
+  | Project_rel of string list * t
+  | Add_rownum of string * t
+  | Product of t * t
+  | Join of { kind : join_kind; cond : Expr.t; left : t; right : t }
+  | Group_by of { keys : (string option * string) list; aggs : Aggregate.spec list; input : t }
+  | Aggregate_all of Aggregate.spec list * t
+  | Md of { base : t; detail : t; blocks : Gmdj.block list }
+  | Md_completed of {
+      base : t;
+      detail : t;
+      blocks : Gmdj.block list;
+      completion : Gmdj.completion;
+    }
+  | Union_all of t * t
+  | Diff_all of t * t
+  | Distinct of t
+
+let rec schema_of ~lookup = function
+  | Table name -> lookup name
+  | Rename (alias, x) -> Schema.rename_rel alias (schema_of ~lookup x)
+  | Select (_, x) | Distinct x -> schema_of ~lookup x
+  | Project (exprs, x) ->
+    let s = schema_of ~lookup x in
+    Schema.of_list
+      (List.map
+         (fun (e, name) ->
+           let ty = match Expr.infer [| s |] e with Some ty -> ty | None -> Value.Tint in
+           Schema.attr name ty)
+         exprs)
+  | Project_cols { cols; input; _ } ->
+    let s = schema_of ~lookup input in
+    let idxs = Array.of_list (List.map (fun (rel, name) -> Schema.find s ?rel name) cols) in
+    Schema.project s idxs
+  | Project_rel (aliases, x) ->
+    let s = schema_of ~lookup x in
+    let keep = List.filter (fun a -> List.mem a.Schema.rel aliases) (Schema.to_list s) in
+    Schema.of_list keep
+  | Add_rownum (name, x) ->
+    Schema.concat (schema_of ~lookup x) [| Schema.attr name Value.Tint |]
+  | Product (l, r) -> Schema.concat (schema_of ~lookup l) (schema_of ~lookup r)
+  | Join { kind; left; right; _ } -> (
+    let ls = schema_of ~lookup left in
+    match kind with
+    | Inner | Left_outer -> Schema.concat ls (schema_of ~lookup right)
+    | Semi | Anti -> ls)
+  | Group_by { keys; aggs; input } ->
+    let s = schema_of ~lookup input in
+    let idxs = Array.of_list (List.map (fun (rel, name) -> Schema.find s ?rel name) keys) in
+    let key_schema = Schema.project s idxs in
+    let agg_attrs =
+      List.map
+        (fun spec -> Schema.attr spec.Aggregate.name (Aggregate.output_ty [| s |] spec))
+        aggs
+    in
+    Schema.concat key_schema (Schema.of_list agg_attrs)
+  | Aggregate_all (aggs, x) ->
+    let s = schema_of ~lookup x in
+    Schema.of_list
+      (List.map
+         (fun spec -> Schema.attr spec.Aggregate.name (Aggregate.output_ty [| s |] spec))
+         aggs)
+  | Md { base; detail; blocks } | Md_completed { base; detail; blocks; _ } ->
+    Gmdj.output_schema ~base:(schema_of ~lookup base) ~detail:(schema_of ~lookup detail)
+      blocks
+  | Union_all (l, _) | Diff_all (l, _) -> schema_of ~lookup l
+
+let equal_blocks b1 b2 =
+  List.length b1 = List.length b2
+  && List.for_all2
+       (fun x y ->
+         Expr.equal x.Gmdj.theta y.Gmdj.theta
+         && List.length x.Gmdj.aggs = List.length y.Gmdj.aggs
+         && List.for_all2
+              (fun (a : Aggregate.spec) (b : Aggregate.spec) ->
+                a.name = b.name
+                &&
+                match a.func, b.func with
+                | Aggregate.Count_star, Aggregate.Count_star -> true
+                | Aggregate.Count e1, Aggregate.Count e2
+                | Aggregate.Sum e1, Aggregate.Sum e2
+                | Aggregate.Min e1, Aggregate.Min e2
+                | Aggregate.Max e1, Aggregate.Max e2
+                | Aggregate.Avg e1, Aggregate.Avg e2 ->
+                  Expr.equal e1 e2
+                | ( ( Aggregate.Count_star | Aggregate.Count _ | Aggregate.Sum _
+                    | Aggregate.Min _ | Aggregate.Max _ | Aggregate.Avg _ ),
+                    _ ) ->
+                  false)
+              x.Gmdj.aggs y.Gmdj.aggs)
+       b1 b2
+
+let rec equal a b =
+  match a, b with
+  | Table x, Table y -> x = y
+  | Rename (a1, x), Rename (a2, y) -> a1 = a2 && equal x y
+  | Select (e1, x), Select (e2, y) -> Expr.equal e1 e2 && equal x y
+  | Project (p1, x), Project (p2, y) ->
+    List.length p1 = List.length p2
+    && List.for_all2 (fun (e1, n1) (e2, n2) -> n1 = n2 && Expr.equal e1 e2) p1 p2
+    && equal x y
+  | Project_cols c1, Project_cols c2 ->
+    c1.cols = c2.cols && c1.distinct = c2.distinct && equal c1.input c2.input
+  | Project_rel (a1, x), Project_rel (a2, y) -> a1 = a2 && equal x y
+  | Add_rownum (n1, x), Add_rownum (n2, y) -> n1 = n2 && equal x y
+  | Product (l1, r1), Product (l2, r2) -> equal l1 l2 && equal r1 r2
+  | Join j1, Join j2 ->
+    j1.kind = j2.kind && Expr.equal j1.cond j2.cond && equal j1.left j2.left
+    && equal j1.right j2.right
+  | Group_by g1, Group_by g2 ->
+    g1.keys = g2.keys
+    && equal_blocks
+         [ { Gmdj.aggs = g1.aggs; theta = Expr.bool true } ]
+         [ { Gmdj.aggs = g2.aggs; theta = Expr.bool true } ]
+    && equal g1.input g2.input
+  | Aggregate_all (a1, x), Aggregate_all (a2, y) ->
+    equal_blocks
+      [ { Gmdj.aggs = a1; theta = Expr.bool true } ]
+      [ { Gmdj.aggs = a2; theta = Expr.bool true } ]
+    && equal x y
+  | Md m1, Md m2 ->
+    equal m1.base m2.base && equal m1.detail m2.detail && equal_blocks m1.blocks m2.blocks
+  | Md_completed m1, Md_completed m2 ->
+    equal m1.base m2.base && equal m1.detail m2.detail && equal_blocks m1.blocks m2.blocks
+    && m1.completion.Gmdj.maintain_aggregates = m2.completion.Gmdj.maintain_aggregates
+    && List.equal Expr.equal m1.completion.Gmdj.kill_when m2.completion.Gmdj.kill_when
+    && List.equal Expr.equal m1.completion.Gmdj.require_fired m2.completion.Gmdj.require_fired
+  | Union_all (l1, r1), Union_all (l2, r2) | Diff_all (l1, r1), Diff_all (l2, r2) ->
+    equal l1 l2 && equal r1 r2
+  | Distinct x, Distinct y -> equal x y
+  | ( ( Table _ | Rename _ | Select _ | Project _ | Project_cols _ | Project_rel _
+      | Add_rownum _ | Product _ | Join _ | Group_by _ | Aggregate_all _ | Md _
+      | Md_completed _ | Union_all _ | Diff_all _ | Distinct _ ),
+      _ ) ->
+    false
+
+let detail_alias = function Rename (a, _) -> Some a | _ -> None
+
+let same_occurrence_modulo_alias a b =
+  match a, b with
+  | Rename (_, x), Rename (_, y) -> equal x y
+  | _ -> equal a b
+
+let join_kind_to_string = function
+  | Inner -> "join"
+  | Left_outer -> "left-outer-join"
+  | Semi -> "semi-join"
+  | Anti -> "anti-join"
+
+let pp_cols ppf cols =
+  Format.pp_print_string ppf
+    (String.concat ", " (List.map (function None, n -> n | Some r, n -> r ^ "." ^ n) cols))
+
+let pp_aggs ppf aggs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    Aggregate.pp_spec ppf aggs
+
+let rec pp ppf alg =
+  match alg with
+  | Table name -> Format.fprintf ppf "Table %s" name
+  | Rename (alias, x) -> Format.fprintf ppf "Rename %s@;<1 2>@[%a@]" alias pp x
+  | Select (e, x) -> Format.fprintf ppf "Select %a@;<1 2>@[%a@]" Expr.pp e pp x
+  | Project (exprs, x) ->
+    Format.fprintf ppf "Project [%s]@;<1 2>@[%a@]"
+      (String.concat ", "
+         (List.map (fun (e, n) -> Format.asprintf "%a -> %s" Expr.pp e n) exprs))
+      pp x
+  | Project_cols { cols; distinct; input } ->
+    Format.fprintf ppf "Project%s [%a]@;<1 2>@[%a@]"
+      (if distinct then "-distinct" else "")
+      pp_cols cols pp input
+  | Project_rel (aliases, x) ->
+    Format.fprintf ppf "ProjectRel %s@;<1 2>@[%a@]" (String.concat ", " aliases) pp x
+  | Add_rownum (name, x) -> Format.fprintf ppf "AddRownum %s@;<1 2>@[%a@]" name pp x
+  | Product (l, r) -> Format.fprintf ppf "Product@;<1 2>@[%a@]@;<1 2>@[%a@]" pp l pp r
+  | Join { kind; cond; left; right } ->
+    Format.fprintf ppf "%s %a@;<1 2>@[%a@]@;<1 2>@[%a@]" (join_kind_to_string kind) Expr.pp
+      cond pp left pp right
+  | Group_by { keys; aggs; input } ->
+    Format.fprintf ppf "GroupBy [%a] aggs [%a]@;<1 2>@[%a@]" pp_cols keys pp_aggs aggs pp
+      input
+  | Aggregate_all (aggs, x) ->
+    Format.fprintf ppf "AggregateAll [%a]@;<1 2>@[%a@]" pp_aggs aggs pp x
+  | Md { base; detail; blocks } ->
+    Format.fprintf ppf "MD %a@;<1 2>base: @[%a@]@;<1 2>detail: @[%a@]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") Gmdj.pp_block)
+      blocks pp base pp detail
+  | Md_completed { base; detail; blocks; completion } ->
+    Format.fprintf ppf "MD-completed %a %a@;<1 2>base: @[%a@]@;<1 2>detail: @[%a@]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") Gmdj.pp_block)
+      blocks Gmdj.pp_completion completion pp base pp detail
+  | Union_all (l, r) -> Format.fprintf ppf "UnionAll@;<1 2>@[%a@]@;<1 2>@[%a@]" pp l pp r
+  | Diff_all (l, r) -> Format.fprintf ppf "DiffAll@;<1 2>@[%a@]@;<1 2>@[%a@]" pp l pp r
+  | Distinct x -> Format.fprintf ppf "Distinct@;<1 2>@[%a@]" pp x

@@ -1,0 +1,57 @@
+(** The extended relational algebra: classical operators plus the GMDJ.
+
+    This is the target language of the SubqueryToGMDJ translation and of
+    the join-unnesting baseline; expressions here contain {e no} nested
+    subqueries.  [Md] is the GMDJ of Definition 2.1; [Md_completed] is a
+    GMDJ fused with the completion rules the optimizer derived from an
+    enclosing selection (Section 4.2). *)
+
+open Subql_relational
+open Subql_gmdj
+
+type join_kind = Inner | Left_outer | Semi | Anti
+
+type t =
+  | Table of string
+  | Rename of string * t  (** alias: requalify all attributes *)
+  | Select of Expr.t * t
+  | Project of (Expr.t * string) list * t  (** computed, unqualified outputs *)
+  | Project_cols of { cols : (string option * string) list; distinct : bool; input : t }
+  | Project_rel of string list * t
+      (** keep exactly the columns qualified with one of the given
+          aliases — used to drop auxiliary count columns after subquery
+          evaluation *)
+  | Add_rownum of string * t
+  | Product of t * t
+  | Join of { kind : join_kind; cond : Expr.t; left : t; right : t }
+  | Group_by of { keys : (string option * string) list; aggs : Aggregate.spec list; input : t }
+  | Aggregate_all of Aggregate.spec list * t
+  | Md of { base : t; detail : t; blocks : Gmdj.block list }
+  | Md_completed of {
+      base : t;
+      detail : t;
+      blocks : Gmdj.block list;
+      completion : Gmdj.completion;
+    }
+      (** [σ[C](MD(base, detail, blocks))] with [C] compiled into
+          completion rules; survivors only. *)
+  | Union_all of t * t
+  | Diff_all of t * t
+  | Distinct of t
+
+val schema_of : lookup:(string -> Schema.t) -> t -> Schema.t
+(** Output schema; [lookup] resolves base-table names. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val detail_alias : t -> string option
+(** The alias naming a relation occurrence: [Some a] for [Rename (a, _)],
+    [None] otherwise.  Used by the coalescing rule. *)
+
+val same_occurrence_modulo_alias : t -> t -> bool
+(** Are the two expressions the same relation occurrence up to their
+    outermost alias?  (Prop. 4.1's "same underlying table" test.) *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line indented plan rendering. *)

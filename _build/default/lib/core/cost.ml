@@ -1,0 +1,233 @@
+open Subql_relational
+open Subql_gmdj
+
+module Stats = struct
+  type col_stats = (string, float) Hashtbl.t
+
+  type t = { tables : (string, float * col_stats) Hashtbl.t }
+
+  let of_catalog catalog =
+    let tables = Hashtbl.create 16 in
+    List.iter
+      (fun name ->
+        let rel = Catalog.find catalog name in
+        let schema = Relation.schema rel in
+        let cols = Hashtbl.create (Schema.arity schema) in
+        Array.iteri
+          (fun i attr ->
+            let seen = Hashtbl.create 64 in
+            Relation.iter (fun row -> Hashtbl.replace seen row.(i) ()) rel;
+            Hashtbl.replace cols attr.Schema.name (float_of_int (max 1 (Hashtbl.length seen))))
+          schema;
+        Hashtbl.replace tables name (float_of_int (Relation.cardinality rel), cols))
+      (Catalog.tables catalog);
+    { tables }
+
+  let table_rows t name =
+    match Hashtbl.find_opt t.tables name with Some (rows, _) -> rows | None -> 1000.0
+
+  let column_distinct t ~table ~column =
+    match Hashtbl.find_opt t.tables table with
+    | None -> None
+    | Some (_, cols) -> Hashtbl.find_opt cols column
+end
+
+type estimate = { rows : float; cost : float }
+
+(* Alias-to-table origins let selectivity reach per-column distinct
+   counts through renames; anything more complex degrades gracefully to
+   shape-based defaults. *)
+type info = { est : estimate; origins : (string * string) list }
+
+let clamp s = Float.max 1e-6 (Float.min 1.0 s)
+
+let ndv_of stats origins = function
+  | Expr.Attr (Some alias, column) -> (
+    match List.assoc_opt alias origins with
+    | Some table -> Stats.column_distinct stats ~table ~column
+    | None -> None)
+  | _ -> None
+
+let rec selectivity_with stats origins e =
+  let sel =
+    match e with
+    | Expr.Const (Value.Bool true) -> 1.0
+    | Expr.Const (Value.Bool false) -> 0.0
+    | Expr.Cmp (Expr.Eq, a, b) | Expr.Null_safe_eq (a, b) -> (
+      match ndv_of stats origins a, ndv_of stats origins b with
+      | Some n, Some m -> 1.0 /. Float.max n m
+      | Some n, None | None, Some n -> 1.0 /. n
+      | None, None -> 0.1)
+    | Expr.Cmp (Expr.Ne, _, _) -> 0.9
+    | Expr.Cmp ((Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge), _, _) -> 0.33
+    | Expr.And (a, b) -> selectivity_with stats origins a *. selectivity_with stats origins b
+    | Expr.Or (a, b) ->
+      Float.min 1.0 (selectivity_with stats origins a +. selectivity_with stats origins b)
+    | Expr.Not a -> 1.0 -. selectivity_with stats origins a
+    | Expr.Is_true a -> selectivity_with stats origins a
+    | Expr.Is_null _ -> 0.05
+    | Expr.Is_not_null _ -> 0.95
+    | Expr.Const _ | Expr.Attr _ | Expr.Arith _ | Expr.Neg _ -> 0.5
+  in
+  clamp sel
+
+let selectivity stats ~origins e = selectivity_with stats origins e
+
+(* A GMDJ block can use the hash-partitioning strategy when its θ has an
+   equi conjunct between two differently-qualified attributes (one ends
+   up on each side in practice). *)
+let block_hashable theta =
+  List.exists
+    (function
+      | Expr.Cmp (Expr.Eq, Expr.Attr (Some a, _), Expr.Attr (Some b, _)) -> a <> b
+      | _ -> false)
+    (Expr.conjuncts theta)
+
+let estimate stats ~config alg =
+  let hash_joins = config.Eval.join_strategy = `Hash in
+  let hash_gmdj = config.Eval.gmdj_strategy = `Hash in
+  let rec go alg =
+    match alg with
+    | Algebra.Table name ->
+      let rows = Stats.table_rows stats name in
+      { est = { rows; cost = rows }; origins = [ (name, name) ] }
+    | Algebra.Rename (alias, x) ->
+      let i = go x in
+      let origins =
+        match x with Algebra.Table t -> [ (alias, t) ] | _ -> []
+      in
+      { i with origins }
+    | Algebra.Select (e, x) ->
+      let i = go x in
+      let sel = selectivity_with stats i.origins e in
+      {
+        i with
+        est = { rows = i.est.rows *. sel; cost = i.est.cost +. i.est.rows };
+      }
+    | Algebra.Project (_, x) | Algebra.Project_rel (_, x) | Algebra.Add_rownum (_, x) ->
+      let i = go x in
+      { est = { rows = i.est.rows; cost = i.est.cost +. i.est.rows }; origins = i.origins }
+    | Algebra.Project_cols { distinct; input; cols } ->
+      let i = go input in
+      let rows =
+        if not distinct then i.est.rows
+        else
+          let ndvs =
+            List.filter_map
+              (fun (rel, name) ->
+                match rel with
+                | Some alias -> ndv_of stats i.origins (Expr.Attr (Some alias, name))
+                | None -> None)
+              cols
+          in
+          match ndvs with
+          | [] -> Float.max 1.0 (i.est.rows *. 0.3)
+          | _ -> Float.min i.est.rows (List.fold_left ( *. ) 1.0 ndvs)
+      in
+      { est = { rows; cost = i.est.cost +. i.est.rows }; origins = i.origins }
+    | Algebra.Distinct x ->
+      let i = go x in
+      {
+        est = { rows = Float.max 1.0 (i.est.rows *. 0.5); cost = i.est.cost +. i.est.rows };
+        origins = i.origins;
+      }
+    | Algebra.Product (l, r) ->
+      let li = go l and ri = go r in
+      let rows = li.est.rows *. ri.est.rows in
+      {
+        est = { rows; cost = li.est.cost +. ri.est.cost +. rows };
+        origins = li.origins @ ri.origins;
+      }
+    | Algebra.Join { kind; cond; left; right } ->
+      let li = go left and ri = go right in
+      let origins = li.origins @ ri.origins in
+      let sel = selectivity_with stats origins cond in
+      let l = li.est.rows and r = ri.est.rows in
+      let inputs = li.est.cost +. ri.est.cost in
+      let pair_work = if hash_joins then l +. r +. (l *. r *. sel) else l *. r in
+      let est =
+        match kind with
+        | Algebra.Inner -> { rows = l *. r *. sel; cost = inputs +. pair_work }
+        | Algebra.Left_outer ->
+          { rows = Float.max l (l *. r *. sel); cost = inputs +. pair_work }
+        | Algebra.Semi ->
+          (* P(some right row matches) ≈ min(1, sel·r); nested loops stop
+             at the first match, hash probes one bucket. *)
+          let hit = Float.min 1.0 (sel *. r) in
+          let cost =
+            if hash_joins then inputs +. l +. r else inputs +. (l *. r *. 0.5)
+          in
+          { rows = l *. hit; cost }
+        | Algebra.Anti ->
+          let hit = Float.min 1.0 (sel *. r) in
+          let cost =
+            if hash_joins then inputs +. l +. r else inputs +. (l *. r *. 0.75)
+          in
+          { rows = l *. (1.0 -. hit); cost }
+      in
+      { est; origins }
+    | Algebra.Group_by { keys; input; _ } ->
+      let i = go input in
+      let ndvs =
+        List.filter_map
+          (fun (rel, name) ->
+            match rel with
+            | Some alias -> ndv_of stats i.origins (Expr.Attr (Some alias, name))
+            | None -> None)
+          keys
+      in
+      let groups =
+        match ndvs with
+        | [] -> Float.max 1.0 (i.est.rows *. 0.1)
+        | _ -> Float.min i.est.rows (List.fold_left ( *. ) 1.0 ndvs)
+      in
+      { est = { rows = groups; cost = i.est.cost +. i.est.rows }; origins = [] }
+    | Algebra.Aggregate_all (_, x) ->
+      let i = go x in
+      { est = { rows = 1.0; cost = i.est.cost +. i.est.rows }; origins = [] }
+    | Algebra.Md { base; detail; blocks } | Algebra.Md_completed { base; detail; blocks; _ }
+      ->
+      let bi = go base and di = go detail in
+      let b = bi.est.rows and d = di.est.rows in
+      let origins = bi.origins @ di.origins in
+      let block_cost block =
+        let theta = block.Gmdj.theta in
+        if hash_gmdj && block_hashable theta then
+          (* One probe per detail row plus the matched updates. *)
+          d +. (b *. d *. selectivity_with stats origins theta)
+        else b *. d
+      in
+      let scan_cost = List.fold_left (fun acc blk -> acc +. block_cost blk) 0.0 blocks in
+      let completion_factor =
+        match alg with Algebra.Md_completed _ -> 0.5 | _ -> 1.0
+      in
+      {
+        est =
+          {
+            rows = b;
+            cost = bi.est.cost +. di.est.cost +. (scan_cost *. completion_factor) +. b;
+          };
+        origins;
+      }
+    | Algebra.Union_all (l, r) ->
+      let li = go l and ri = go r in
+      {
+        est =
+          {
+            rows = li.est.rows +. ri.est.rows;
+            cost = li.est.cost +. ri.est.cost +. li.est.rows +. ri.est.rows;
+          };
+        origins = [];
+      }
+    | Algebra.Diff_all (l, r) ->
+      let li = go l and ri = go r in
+      {
+        est =
+          {
+            rows = li.est.rows;
+            cost = li.est.cost +. ri.est.cost +. li.est.rows +. ri.est.rows;
+          };
+        origins = [];
+      }
+  in
+  (go alg).est

@@ -1,0 +1,43 @@
+(** A cost model for the extended algebra.
+
+    The paper's conclusion observes that GMDJ evaluation "has a
+    well-defined cost" and is therefore easy to put under a cost-based
+    optimizer that selects between joins, set-difference and GMDJs.
+    This module provides that model: cardinality estimation with
+    textbook selectivity heuristics plus per-operator cost formulas for
+    both physical strategies (hash vs nested loop, hash-partitioned GMDJ
+    vs full scan).
+
+    Cardinalities are estimated from per-table statistics (row counts
+    and per-column distinct counts, computed exactly over the in-memory
+    catalog).  Estimates are heuristic — their purpose is plan {e
+    choice}, not precision; see {!Planner}. *)
+
+open Subql_relational
+
+module Stats : sig
+  type t
+
+  val of_catalog : Catalog.t -> t
+  (** Exact row counts and per-column distinct counts for every table. *)
+
+  val table_rows : t -> string -> float
+  (** Defaults to 1000.0 for unknown tables. *)
+
+  val column_distinct : t -> table:string -> column:string -> float option
+end
+
+type estimate = {
+  rows : float;  (** estimated output cardinality *)
+  cost : float;  (** accumulated work in tuple-operation units *)
+}
+
+val estimate : Stats.t -> config:Eval.config -> Algebra.t -> estimate
+(** Estimate the given plan under the given physical configuration. *)
+
+val selectivity : Stats.t -> origins:(string * string) list -> Expr.t -> float
+(** Predicate selectivity.  [origins] maps relation aliases to base
+    tables so equality on a column with a known distinct count can use
+    1/ndv; other equalities are 0.1, ranges 0.33, conjunction
+    multiplies, disjunction adds (capped), negation complements.
+    Clamped to [\[1e-6, 1.0\]]. *)

@@ -1,0 +1,151 @@
+open Subql_relational
+open Subql_gmdj
+
+type config = {
+  join_strategy : Ops.join_strategy;
+  gmdj_strategy : Gmdj.strategy;
+}
+
+let default_config = { join_strategy = `Hash; gmdj_strategy = `Hash }
+
+let unindexed_config = { join_strategy = `Nested_loop; gmdj_strategy = `Scan }
+
+let schema catalog alg =
+  Algebra.schema_of ~lookup:(fun name -> Relation.schema (Catalog.find catalog name)) alg
+
+(* Evaluation is split into child enumeration and per-node application so
+   the plain and instrumented evaluators share one implementation. *)
+
+let children = function
+  | Algebra.Table _ -> []
+  | Algebra.Rename (_, x)
+  | Algebra.Select (_, x)
+  | Algebra.Project (_, x)
+  | Algebra.Project_cols { input = x; _ }
+  | Algebra.Project_rel (_, x)
+  | Algebra.Add_rownum (_, x)
+  | Algebra.Group_by { input = x; _ }
+  | Algebra.Aggregate_all (_, x)
+  | Algebra.Distinct x ->
+    [ x ]
+  | Algebra.Product (l, r)
+  | Algebra.Join { left = l; right = r; _ }
+  | Algebra.Md { base = l; detail = r; _ }
+  | Algebra.Md_completed { base = l; detail = r; _ }
+  | Algebra.Union_all (l, r)
+  | Algebra.Diff_all (l, r) ->
+    [ l; r ]
+
+let apply ~config ?gmdj_stats catalog alg (kids : Relation.t list) =
+  match alg, kids with
+  | Algebra.Table name, [] -> Catalog.find catalog name
+  | Algebra.Rename (alias, _), [ x ] -> Relation.rename alias x
+  | Algebra.Select (e, _), [ x ] -> Ops.select e x
+  | Algebra.Project (exprs, _), [ x ] -> Ops.project exprs x
+  | Algebra.Project_cols { cols; distinct; _ }, [ x ] -> Ops.project_cols ~distinct cols x
+  | Algebra.Project_rel (aliases, _), [ x ] ->
+    let s = Relation.schema x in
+    let cols =
+      List.filter_map
+        (fun a ->
+          if List.mem a.Schema.rel aliases then Some (Some a.Schema.rel, a.Schema.name)
+          else None)
+        (Schema.to_list s)
+    in
+    Ops.project_cols cols x
+  | Algebra.Add_rownum (name, _), [ x ] -> Ops.add_rownum name x
+  | Algebra.Product _, [ l; r ] -> Ops.product l r
+  | Algebra.Join { kind; cond; _ }, [ l; r ] -> (
+    let strategy = config.join_strategy in
+    match kind with
+    | Algebra.Inner -> Ops.join ~strategy cond l r
+    | Algebra.Left_outer -> Ops.left_outer_join ~strategy cond l r
+    | Algebra.Semi -> Ops.semi_join ~strategy cond l r
+    | Algebra.Anti -> Ops.anti_join ~strategy cond l r)
+  | Algebra.Group_by { keys; aggs; _ }, [ x ] -> Ops.group_by ~keys ~aggs x
+  | Algebra.Aggregate_all (aggs, _), [ x ] -> Ops.aggregate_all aggs x
+  | Algebra.Md { blocks; _ }, [ base; detail ] ->
+    Gmdj.eval ~strategy:config.gmdj_strategy ?stats:gmdj_stats ~base ~detail blocks
+  | Algebra.Md_completed { blocks; completion; _ }, [ base; detail ] ->
+    Gmdj.eval_completed ~strategy:config.gmdj_strategy ?stats:gmdj_stats ~completion ~base
+      ~detail blocks
+  | Algebra.Union_all _, [ l; r ] -> Ops.union_all l r
+  | Algebra.Diff_all _, [ l; r ] -> Ops.diff_all l r
+  | Algebra.Distinct _, [ x ] -> Ops.distinct x
+  | _ -> invalid_arg "Eval.apply: child arity mismatch"
+
+let eval ?(config = default_config) ?gmdj_stats catalog alg =
+  let rec go alg = apply ~config ?gmdj_stats catalog alg (List.map go (children alg)) in
+  go alg
+
+(* ------------------------------------------------------------------ *)
+(* Instrumented evaluation                                              *)
+(* ------------------------------------------------------------------ *)
+
+type trace = {
+  label : string;
+  out_rows : int;
+  self_seconds : float;
+  children : trace list;
+}
+
+let node_label alg =
+  let exprs es = String.concat ", " (List.map Expr.to_string es) in
+  match alg with
+  | Algebra.Table name -> "Table " ^ name
+  | Algebra.Rename (a, _) -> "Rename " ^ a
+  | Algebra.Select (e, _) -> "Select " ^ Expr.to_string e
+  | Algebra.Project (ps, _) -> Printf.sprintf "Project [%s]" (exprs (List.map fst ps))
+  | Algebra.Project_cols { distinct; _ } ->
+    if distinct then "Project-distinct" else "Project-cols"
+  | Algebra.Project_rel (aliases, _) -> "ProjectRel " ^ String.concat "," aliases
+  | Algebra.Add_rownum (n, _) -> "AddRownum " ^ n
+  | Algebra.Product _ -> "Product"
+  | Algebra.Join { kind; cond; _ } ->
+    let k =
+      match kind with
+      | Algebra.Inner -> "Join"
+      | Algebra.Left_outer -> "LeftOuterJoin"
+      | Algebra.Semi -> "SemiJoin"
+      | Algebra.Anti -> "AntiJoin"
+    in
+    k ^ " " ^ Expr.to_string cond
+  | Algebra.Group_by { keys; _ } ->
+    Printf.sprintf "GroupBy [%s]"
+      (String.concat ", " (List.map (function None, n -> n | Some r, n -> r ^ "." ^ n) keys))
+  | Algebra.Aggregate_all _ -> "AggregateAll"
+  | Algebra.Md { blocks; _ } -> Printf.sprintf "MD (%d blocks)" (List.length blocks)
+  | Algebra.Md_completed { blocks; completion; _ } ->
+    Printf.sprintf "MD-completed (%d blocks%s)" (List.length blocks)
+      (if completion.Gmdj.maintain_aggregates then "" else ", aggregate-free")
+  | Algebra.Union_all _ -> "UnionAll"
+  | Algebra.Diff_all _ -> "DiffAll"
+  | Algebra.Distinct _ -> "Distinct"
+
+let eval_traced ?(config = default_config) catalog alg =
+  let rec go alg =
+    let kid_results = List.map go (children alg) in
+    let kids = List.map fst kid_results in
+    let traces = List.map snd kid_results in
+    let t0 = Unix.gettimeofday () in
+    let result = apply ~config catalog alg kids in
+    let self_seconds = Unix.gettimeofday () -. t0 in
+    ( result,
+      {
+        label = node_label alg;
+        out_rows = Relation.cardinality result;
+        self_seconds;
+        children = traces;
+      } )
+  in
+  go alg
+
+let pp_trace ppf trace =
+  let rec pp indent t =
+    Format.fprintf ppf "%s%-60s %10d rows %9.3f ms@."
+      (String.make indent ' ')
+      (if String.length t.label > 60 then String.sub t.label 0 57 ^ "..." else t.label)
+      t.out_rows (t.self_seconds *. 1000.0);
+    List.iter (pp (indent + 2)) t.children
+  in
+  pp 0 trace

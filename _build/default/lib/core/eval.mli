@@ -1,0 +1,44 @@
+(** Evaluation of extended-algebra expressions against a catalog.
+
+    The configuration selects physical strategies without changing
+    results: [`Hash] joins model the paper's "all important attributes
+    were indexed" setting, [`Nested_loop] the index-free ablation; the
+    GMDJ strategy selects between the definition-style reference
+    evaluator, the plain single scan, and the hash-partitioned single
+    scan. *)
+
+open Subql_relational
+open Subql_gmdj
+
+type config = {
+  join_strategy : Ops.join_strategy;
+  gmdj_strategy : Gmdj.strategy;
+}
+
+val default_config : config
+(** Hash joins, hash GMDJ. *)
+
+val unindexed_config : config
+(** Nested-loop joins, scan GMDJ. *)
+
+val eval :
+  ?config:config -> ?gmdj_stats:Gmdj.stats -> Catalog.t -> Algebra.t -> Relation.t
+(** [gmdj_stats], when provided, accumulates over every [Md] /
+    [Md_completed] node evaluated. *)
+
+val schema : Catalog.t -> Algebra.t -> Schema.t
+
+(** {1 Instrumented evaluation (EXPLAIN ANALYZE)} *)
+
+type trace = {
+  label : string;  (** operator rendering *)
+  out_rows : int;
+  self_seconds : float;  (** time in this operator, children excluded *)
+  children : trace list;
+}
+
+val eval_traced :
+  ?config:config -> Catalog.t -> Algebra.t -> Relation.t * trace
+
+val pp_trace : Format.formatter -> trace -> unit
+(** Indented tree with per-operator output cardinality and time. *)

@@ -1,0 +1,430 @@
+open Subql_relational
+open Subql_gmdj
+
+type flags = { coalesce : bool; pushdown : bool; completion : bool }
+
+let all = { coalesce = true; pushdown = true; completion = true }
+
+let none = { coalesce = false; pushdown = false; completion = false }
+
+let only ?(coalesce = false) ?(pushdown = false) ?(completion = false) () =
+  { coalesce; pushdown; completion }
+
+(* ------------------------------------------------------------------ *)
+(* Generic bottom-up rewriting                                         *)
+(* ------------------------------------------------------------------ *)
+
+let map_children f = function
+  | Algebra.Table _ as t -> t
+  | Algebra.Rename (a, x) -> Algebra.Rename (a, f x)
+  | Algebra.Select (e, x) -> Algebra.Select (e, f x)
+  | Algebra.Project (p, x) -> Algebra.Project (p, f x)
+  | Algebra.Project_cols c -> Algebra.Project_cols { c with input = f c.input }
+  | Algebra.Project_rel (a, x) -> Algebra.Project_rel (a, f x)
+  | Algebra.Add_rownum (n, x) -> Algebra.Add_rownum (n, f x)
+  | Algebra.Product (l, r) -> Algebra.Product (f l, f r)
+  | Algebra.Join j -> Algebra.Join { j with left = f j.left; right = f j.right }
+  | Algebra.Group_by g -> Algebra.Group_by { g with input = f g.input }
+  | Algebra.Aggregate_all (a, x) -> Algebra.Aggregate_all (a, f x)
+  | Algebra.Md m -> Algebra.Md { m with base = f m.base; detail = f m.detail }
+  | Algebra.Md_completed m ->
+    Algebra.Md_completed { m with base = f m.base; detail = f m.detail }
+  | Algebra.Union_all (l, r) -> Algebra.Union_all (f l, f r)
+  | Algebra.Diff_all (l, r) -> Algebra.Diff_all (f l, f r)
+  | Algebra.Distinct x -> Algebra.Distinct (f x)
+
+(* Apply [rule] bottom-up; keep rewriting a node until the rule no longer
+   fires, then move up.  Terminates because every rule strictly shrinks
+   the number of Md nodes or fires at most once per node. *)
+let rewrite_bottom_up rule alg =
+  let rec go alg =
+    let alg = map_children go alg in
+    match rule alg with
+    | Some alg' -> go alg'
+    | None -> alg
+  in
+  go alg
+
+(* Top-down variant: the completion rule must see a projection together
+   with the selection and GMDJ underneath it — rewriting the children
+   first would consume the [Select (cond, Md)] before the enclosing
+   projection is inspected, losing the aggregate-free mode. *)
+let rewrite_top_down rule alg =
+  let rec go alg =
+    match rule alg with
+    | Some alg' -> go alg'
+    | None -> map_children go alg
+  in
+  go alg
+
+(* ------------------------------------------------------------------ *)
+(* Coalescing (Prop. 4.1) and selection push-up (Ex. 4.1)              *)
+(* ------------------------------------------------------------------ *)
+
+let agg_names blocks =
+  List.concat_map (fun b -> List.map (fun s -> s.Aggregate.name) b.Gmdj.aggs) blocks
+
+let block_exprs b =
+  b.Gmdj.theta
+  :: List.filter_map
+       (fun s ->
+         match s.Aggregate.func with
+         | Aggregate.Count_star -> None
+         | Aggregate.Count e | Aggregate.Sum e | Aggregate.Min e | Aggregate.Max e
+         | Aggregate.Avg e ->
+           Some e)
+       b.Gmdj.aggs
+
+let references_any_name names e =
+  List.exists (fun (_, n) -> List.mem n names) (Expr.attrs e)
+
+(* Outer blocks may be merged below the inner GMDJ only if they do not
+   read the inner GMDJ's aggregate columns (condition independence). *)
+let blocks_independent ~inner_blocks ~outer_blocks =
+  let inner_names = agg_names inner_blocks in
+  not
+    (List.exists
+       (fun b -> List.exists (references_any_name inner_names) (block_exprs b))
+       outer_blocks)
+
+let requalify_blocks ~from_alias ~to_alias blocks =
+  if from_alias = to_alias then blocks
+  else
+    List.map
+      (fun b ->
+        let rw = Expr.rewrite_qualifier ~from_rel:from_alias ~to_rel:to_alias in
+        {
+          Gmdj.theta = rw b.Gmdj.theta;
+          aggs =
+            List.map
+              (fun s ->
+                let func =
+                  match s.Aggregate.func with
+                  | Aggregate.Count_star -> Aggregate.Count_star
+                  | Aggregate.Count e -> Aggregate.Count (rw e)
+                  | Aggregate.Sum e -> Aggregate.Sum (rw e)
+                  | Aggregate.Min e -> Aggregate.Min (rw e)
+                  | Aggregate.Max e -> Aggregate.Max (rw e)
+                  | Aggregate.Avg e -> Aggregate.Avg (rw e)
+                in
+                { s with Aggregate.func })
+              b.Gmdj.aggs;
+        })
+      blocks
+
+let try_merge ~inner_base ~inner_detail ~inner_blocks ~outer_detail ~outer_blocks =
+  if not (Algebra.same_occurrence_modulo_alias inner_detail outer_detail) then None
+  else if not (blocks_independent ~inner_blocks ~outer_blocks) then None
+  else
+    let outer_blocks =
+      match Algebra.detail_alias outer_detail, Algebra.detail_alias inner_detail with
+      | Some from_alias, Some to_alias -> requalify_blocks ~from_alias ~to_alias outer_blocks
+      | _ -> outer_blocks
+    in
+    Some
+      (Algebra.Md
+         { base = inner_base; detail = inner_detail; blocks = inner_blocks @ outer_blocks })
+
+let coalesce_rule = function
+  | Algebra.Md
+      {
+        base = Algebra.Md { base = inner_base; detail = inner_detail; blocks = inner_blocks };
+        detail = outer_detail;
+        blocks = outer_blocks;
+      } ->
+    try_merge ~inner_base ~inner_detail ~inner_blocks ~outer_detail ~outer_blocks
+  | Algebra.Md
+      {
+        base =
+          Algebra.Select
+            ( cond,
+              Algebra.Md { base = inner_base; detail = inner_detail; blocks = inner_blocks }
+            );
+        detail = outer_detail;
+        blocks = outer_blocks;
+      } ->
+    (* Example 4.1: hoist the count-selection above the merged GMDJ.  The
+       GMDJ extends each base row independently, so it commutes with any
+       selection on its base. *)
+    Option.map
+      (fun merged -> Algebra.Select (cond, merged))
+      (try_merge ~inner_base ~inner_detail ~inner_blocks ~outer_detail ~outer_blocks)
+  | Algebra.Table _ | Algebra.Rename _ | Algebra.Select _ | Algebra.Project _
+  | Algebra.Project_cols _ | Algebra.Project_rel _ | Algebra.Add_rownum _
+  | Algebra.Product _ | Algebra.Join _ | Algebra.Group_by _ | Algebra.Aggregate_all _
+  | Algebra.Md _ | Algebra.Md_completed _ | Algebra.Union_all _ | Algebra.Diff_all _
+  | Algebra.Distinct _ ->
+    None
+
+
+(* ------------------------------------------------------------------ *)
+(* Selection push-down                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The aliases an expression's output columns are qualified with, when
+   they can be determined syntactically; [None] when the node may emit
+   columns we cannot attribute (computed projections, group outputs,
+   etc.).  GMDJ outputs are base columns plus unqualified aggregate
+   columns, so qualified references into them resolve via the base. *)
+let rec alias_set = function
+  | Algebra.Table t -> Some [ t ]
+  | Algebra.Rename (a, _) -> Some [ a ]
+  | Algebra.Select (_, x)
+  | Algebra.Add_rownum (_, x)
+  | Algebra.Distinct x ->
+    alias_set x
+  | Algebra.Md { base; _ } | Algebra.Md_completed { base; _ } -> alias_set base
+  | Algebra.Product (l, r) | Algebra.Join { kind = Algebra.Inner; left = l; right = r; _ } ->
+    (match alias_set l, alias_set r with
+    | Some a, Some b -> Some (a @ b)
+    | _ -> None)
+  | Algebra.Join { kind = Algebra.Semi | Algebra.Anti; left = l; _ } -> alias_set l
+  | Algebra.Join { kind = Algebra.Left_outer; left = l; right = r; _ } ->
+    (match alias_set l, alias_set r with Some a, Some b -> Some (a @ b) | _ -> None)
+  | Algebra.Project _ | Algebra.Project_cols _ | Algebra.Project_rel _ | Algebra.Group_by _
+  | Algebra.Aggregate_all _ | Algebra.Union_all _ | Algebra.Diff_all _ ->
+    None
+
+(* A conjunct can move to a side iff all its references are qualified,
+   every qualifier belongs to that side, and none belongs to the other
+   (alias overlap would make resolution ambiguous). *)
+let attributable conjunct ~here ~there =
+  let refs = Expr.attrs conjunct in
+  refs <> []
+  && List.for_all
+       (fun (q, _) ->
+         match q with
+         | None -> false
+         | Some alias -> List.mem alias here && not (List.mem alias there))
+       refs
+
+let split_by_side e ~left_aliases ~right_aliases =
+  List.fold_left
+    (fun (l, r, rest) conjunct ->
+      if attributable conjunct ~here:left_aliases ~there:right_aliases then
+        (conjunct :: l, r, rest)
+      else if attributable conjunct ~here:right_aliases ~there:left_aliases then
+        (l, conjunct :: r, rest)
+      else (l, r, conjunct :: rest))
+    ([], [], []) (Expr.conjuncts e)
+  |> fun (l, r, rest) -> (List.rev l, List.rev r, List.rev rest)
+
+let select_over conjs x = match conjs with [] -> x | cs -> Algebra.Select (Expr.conjoin cs, x)
+
+let pushdown_rule = function
+  | Algebra.Select (e, Algebra.Select (f, x)) -> Some (Algebra.Select (Expr.and_ f e, x))
+  | Algebra.Select (e, Algebra.Product (l, r)) -> (
+    (* A selection over a product always becomes a join (σ ∘ × ≡ ⋈);
+       single-side conjuncts additionally sink into the operands. *)
+    match alias_set l, alias_set r with
+    | Some left_aliases, Some right_aliases -> (
+      let le, re, rest = split_by_side e ~left_aliases ~right_aliases in
+      let l = select_over le l and r = select_over re r in
+      match rest with
+      | [] -> Some (Algebra.Product (l, r))
+      | cs ->
+        Some (Algebra.Join { kind = Algebra.Inner; cond = Expr.conjoin cs; left = l; right = r }))
+    | _ ->
+      Some (Algebra.Join { kind = Algebra.Inner; cond = e; left = l; right = r }))
+  | Algebra.Select (e, Algebra.Join ({ kind = Algebra.Inner; _ } as j)) -> (
+    match alias_set j.left, alias_set j.right with
+    | Some left_aliases, Some right_aliases ->
+      let le, re, rest = split_by_side e ~left_aliases ~right_aliases in
+      let left = select_over le j.left and right = select_over re j.right in
+      let cond = Expr.conjoin (j.cond :: rest) in
+      Some (Algebra.Join { j with cond; left; right })
+    | _ -> Some (Algebra.Join { j with cond = Expr.and_ j.cond e }))
+  | Algebra.Select (e, (Algebra.Md { base; detail; blocks } as md)) -> (
+    (* Base-only conjuncts commute below the GMDJ. *)
+    ignore md;
+    match alias_set base with
+    | None -> None
+    | Some base_aliases -> (
+      let movable, rest =
+        List.partition
+          (fun conjunct -> attributable conjunct ~here:base_aliases ~there:[])
+          (Expr.conjuncts e)
+      in
+      match movable with
+      | [] -> None
+      | _ ->
+        let pushed =
+          Algebra.Md { base = select_over movable base; detail; blocks }
+        in
+        Some (select_over rest pushed)))
+  | Algebra.Table _ | Algebra.Rename _ | Algebra.Select _ | Algebra.Project _
+  | Algebra.Project_cols _ | Algebra.Project_rel _ | Algebra.Add_rownum _
+  | Algebra.Product _ | Algebra.Join _ | Algebra.Group_by _ | Algebra.Aggregate_all _
+  | Algebra.Md _ | Algebra.Md_completed _ | Algebra.Union_all _ | Algebra.Diff_all _
+  | Algebra.Distinct _ ->
+    None
+
+(* ------------------------------------------------------------------ *)
+(* Completion detection (Thms 4.1/4.2)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Map an unqualified column name to the θ of the block whose count-star
+   aggregate produces it.  Only applicable when names are globally unique
+   across the GMDJ's aggregates. *)
+let count_thetas blocks =
+  List.concat_map
+    (fun b ->
+      List.filter_map
+        (fun s ->
+          match s.Aggregate.func with
+          | Aggregate.Count_star -> Some (s.Aggregate.name, b.Gmdj.theta)
+          | Aggregate.Count _ | Aggregate.Sum _ | Aggregate.Min _ | Aggregate.Max _
+          | Aggregate.Avg _ ->
+            None)
+        b.Gmdj.aggs)
+    blocks
+
+let names_unique names =
+  let sorted = List.sort String.compare names in
+  let rec ok = function
+    | a :: (b :: _ as rest) -> a <> b && ok rest
+    | [ _ ] | [] -> true
+  in
+  ok sorted
+
+type rule_acc = {
+  mutable kills : Expr.t list;
+  mutable requires_ : Expr.t list;
+  mutable residual : Expr.t list;
+}
+
+let expr_subset small big = List.for_all (fun c -> List.exists (Expr.equal c) big) small
+
+let expr_diff big small = List.filter (fun c -> not (List.exists (Expr.equal c) small)) big
+
+(* The ALL pattern: cnt_a = cnt_b where θ_a = θ_b ∧ ψ.  The selection
+   fails exactly when some detail row satisfies θ_b but not ψ (as true),
+   so that row kills the base tuple. *)
+let all_kill theta_a theta_b =
+  let ca = Expr.conjuncts theta_a and cb = Expr.conjuncts theta_b in
+  if expr_subset cb ca && List.length cb < List.length ca then
+    let psi = Expr.conjoin (expr_diff ca cb) in
+    Some (Expr.and_ theta_b (Expr.not_ (Expr.Is_true psi)))
+  else None
+
+let classify_conjunct counts acc conjunct =
+  let theta_of n = List.assoc_opt n counts in
+  let as_count_attr = function
+    | Expr.Attr (None, n) -> theta_of n
+    | _ -> None
+  in
+  let handled =
+    match conjunct with
+    (* cnt = 0  /  0 = cnt  → kill *)
+    | Expr.Cmp (Expr.Eq, a, Expr.Const (Value.Int 0)) -> (
+      match as_count_attr a with
+      | Some theta ->
+        acc.kills <- acc.kills @ [ theta ];
+        true
+      | None -> false)
+    | Expr.Cmp (Expr.Eq, Expr.Const (Value.Int 0), a) -> (
+      match as_count_attr a with
+      | Some theta ->
+        acc.kills <- acc.kills @ [ theta ];
+        true
+      | None -> false)
+    (* cnt > 0, cnt >= 1, cnt <> 0, 0 < cnt → require-fired *)
+    | Expr.Cmp (Expr.Gt, a, Expr.Const (Value.Int 0))
+    | Expr.Cmp (Expr.Ge, a, Expr.Const (Value.Int 1))
+    | Expr.Cmp (Expr.Ne, a, Expr.Const (Value.Int 0)) -> (
+      match as_count_attr a with
+      | Some theta ->
+        acc.requires_ <- acc.requires_ @ [ theta ];
+        true
+      | None -> false)
+    | Expr.Cmp (Expr.Lt, Expr.Const (Value.Int 0), a)
+    | Expr.Cmp (Expr.Le, Expr.Const (Value.Int 1), a)
+    | Expr.Cmp (Expr.Ne, Expr.Const (Value.Int 0), a) -> (
+      match as_count_attr a with
+      | Some theta ->
+        acc.requires_ <- acc.requires_ @ [ theta ];
+        true
+      | None -> false)
+    (* cnt_a = cnt_b (the ALL pattern) *)
+    | Expr.Cmp (Expr.Eq, a, b) -> (
+      match as_count_attr a, as_count_attr b with
+      | Some ta, Some tb -> (
+        match all_kill ta tb with
+        | Some kill ->
+          acc.kills <- acc.kills @ [ kill ];
+          true
+        | None -> (
+          match all_kill tb ta with
+          | Some kill ->
+            acc.kills <- acc.kills @ [ kill ];
+            true
+          | None -> false))
+      | _ -> false)
+    | _ -> false
+  in
+  if not handled then acc.residual <- acc.residual @ [ conjunct ]
+
+(* Try to turn [Select (cond, Md m)] into an [Md_completed].
+   [aggs_discarded] tells whether the context projects the aggregate
+   columns away, enabling Thm 4.1's aggregate-free mode. *)
+let complete_select ~aggs_discarded cond (m : Algebra.t) =
+  match m with
+  | Algebra.Md { base; detail; blocks } ->
+    let counts = count_thetas blocks in
+    if not (names_unique (agg_names blocks)) then None
+    else begin
+      let acc = { kills = []; requires_ = []; residual = [] } in
+      List.iter (classify_conjunct counts acc) (Expr.conjuncts cond);
+      if acc.kills = [] && acc.requires_ = [] then None
+      else
+        let names = agg_names blocks in
+        let residual_uses_aggs = List.exists (references_any_name names) acc.residual in
+        let maintain_aggregates = (not aggs_discarded) || residual_uses_aggs in
+        let completion =
+          { Gmdj.kill_when = acc.kills; require_fired = acc.requires_; maintain_aggregates }
+        in
+        let completed = Algebra.Md_completed { base; detail; blocks; completion } in
+        Some
+          (match acc.residual with
+          | [] -> completed
+          | rs -> Algebra.Select (Expr.conjoin rs, completed))
+    end
+  | _ -> None
+
+let completion_rule alg =
+  match alg with
+  | Algebra.Select (cond, (Algebra.Md _ as m)) -> complete_select ~aggs_discarded:false cond m
+  | Algebra.Project_rel (a, Algebra.Select (cond, (Algebra.Md _ as m))) ->
+    Option.map
+      (fun inner -> Algebra.Project_rel (a, inner))
+      (complete_select ~aggs_discarded:true cond m)
+  | Algebra.Project_cols ({ cols; _ } as pc) -> (
+    match pc.input with
+    | Algebra.Select (cond, (Algebra.Md { blocks; _ } as m)) ->
+      let names = agg_names blocks in
+      let discards = not (List.exists (fun (_, n) -> List.mem n names) cols) in
+      Option.map
+        (fun inner -> Algebra.Project_cols { pc with input = inner })
+        (complete_select ~aggs_discarded:discards cond m)
+    | _ -> None)
+  | Algebra.Project (exprs, Algebra.Select (cond, (Algebra.Md { blocks; _ } as m))) ->
+    let names = agg_names blocks in
+    let discards = not (List.exists (fun (e, _) -> references_any_name names e) exprs) in
+    Option.map
+      (fun inner -> Algebra.Project (exprs, inner))
+      (complete_select ~aggs_discarded:discards cond m)
+  | Algebra.Table _ | Algebra.Rename _ | Algebra.Select _ | Algebra.Project _
+  | Algebra.Project_rel _ | Algebra.Add_rownum _ | Algebra.Product _ | Algebra.Join _
+  | Algebra.Group_by _ | Algebra.Aggregate_all _ | Algebra.Md _ | Algebra.Md_completed _
+  | Algebra.Union_all _ | Algebra.Diff_all _ | Algebra.Distinct _ ->
+    None
+
+(* Completion fires at most once per position (it consumes the Md); guard
+   against re-firing on the rewritten node by checking for Md_completed
+   in the pattern itself (the patterns above only match plain Md). *)
+
+let optimize ?(flags = all) alg =
+  let alg = if flags.coalesce then rewrite_bottom_up coalesce_rule alg else alg in
+  let alg = if flags.pushdown then rewrite_bottom_up pushdown_rule alg else alg in
+  let alg = if flags.completion then rewrite_top_down completion_rule alg else alg in
+  alg

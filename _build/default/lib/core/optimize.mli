@@ -1,0 +1,40 @@
+(** GMDJ optimizations for subquery plans (Section 4).
+
+    - {e Coalescing} (Prop. 4.1): a chain of GMDJs over the same detail
+      occurrence merges into a single GMDJ — multiple subqueries over
+      one table are then evaluated in a single scan of that table.
+      Includes the selection push-up variant of Example 4.1 (a
+      count-selection sitting between two coalescible GMDJs is hoisted
+      above the merged operator; valid because the GMDJ extends rows
+      independently, so it commutes with selection on its base).
+    - {e Selection push-down}: adjacent selections merge; selections
+      over products and inner joins distribute their single-side
+      conjuncts and turn residual product conditions into joins; and
+      selections whose conjuncts mention only base-side aliases commute
+      below a GMDJ (the law tested in the algebra suite) — so join
+      predicates of a multi-relation FROM filter the base-values table
+      before the detail scan, and the remaining count-conditions are
+      left in shape for completion.
+    - {e Completion} (Thms 4.1/4.2): a selection over count columns of a
+      GMDJ is compiled into kill / require-fired rules evaluated inside
+      the scan ([Md_completed]); when the surrounding projection also
+      discards the aggregate columns, aggregate maintenance is skipped
+      entirely and the scan can terminate as soon as every base tuple is
+      decided. *)
+
+type flags = { coalesce : bool; pushdown : bool; completion : bool }
+
+val all : flags
+
+val none : flags
+
+val only : ?coalesce:bool -> ?pushdown:bool -> ?completion:bool -> unit -> flags
+(** All flags default to [false]. *)
+
+val optimize : ?flags:flags -> Algebra.t -> Algebra.t
+(** Apply the enabled rewrites bottom-up to a fixpoint.  Semantics are
+    preserved for every flag combination. *)
+
+val map_children : (Algebra.t -> Algebra.t) -> Algebra.t -> Algebra.t
+(** Apply a function to the immediate children of a node (generic
+    one-level traversal, exported for plan rewriters). *)

@@ -1,0 +1,45 @@
+open Subql_relational
+
+type candidate = {
+  label : string;
+  plan : Algebra.t;
+  estimate : Cost.estimate;
+}
+
+type provider = Catalog.t -> Subql_nested.Nested_ast.query -> Algebra.t option
+
+let semijoin_provider : provider ref = ref (fun _ _ -> None)
+
+let outerjoin_provider : provider ref = ref (fun _ _ -> None)
+
+let set_unnest_providers ~semijoin ~outerjoin =
+  semijoin_provider := semijoin;
+  outerjoin_provider := outerjoin
+
+let candidates ?(config = Eval.default_config) catalog query =
+  let stats = Cost.Stats.of_catalog catalog in
+  let gmdj = Optimize.optimize (Transform.to_algebra query) in
+  let maybe label plan =
+    Option.map (fun p -> (label, p)) plan
+  in
+  let plans =
+    List.filter_map Fun.id
+      [
+        Some ("gmdj", gmdj);
+        maybe "semijoin-unnest" (!semijoin_provider catalog query);
+        maybe "outerjoin-unnest" (!outerjoin_provider catalog query);
+      ]
+  in
+  plans
+  |> List.map (fun (label, plan) ->
+         { label; plan; estimate = Cost.estimate stats ~config plan })
+  |> List.sort (fun a b -> Float.compare a.estimate.Cost.cost b.estimate.Cost.cost)
+
+let choose ?config catalog query =
+  match candidates ?config catalog query with
+  | best :: _ -> best
+  | [] -> assert false (* the GMDJ plan is always present *)
+
+let run ?config catalog query =
+  let best = choose ?config catalog query in
+  Eval.eval ?config catalog best.plan

@@ -1,0 +1,39 @@
+(** Cost-based plan selection between the subquery evaluation
+    strategies (the cost-based framework sketched in the paper's
+    conclusion).
+
+    For a nested query the planner enumerates the available complete
+    plans — the optimized GMDJ translation, the classical semi-/anti-
+    join unnesting when applicable, and the general outer-join
+    expansion — estimates each with {!Cost}, and picks the cheapest.
+    Every candidate computes the same result, so the choice only
+    affects performance. *)
+
+open Subql_relational
+
+type candidate = {
+  label : string;  (** "gmdj", "semijoin-unnest", or "outerjoin-unnest" *)
+  plan : Algebra.t;
+  estimate : Cost.estimate;
+}
+
+val candidates :
+  ?config:Eval.config -> Catalog.t -> Subql_nested.Nested_ast.query -> candidate list
+(** All available plans with their estimates, cheapest first.
+    The unnesting candidates are produced lazily by callbacks registered
+    with {!set_unnest_providers} (breaking the library cycle with
+    [subql_unnest]); without providers only the GMDJ plan is offered. *)
+
+val choose :
+  ?config:Eval.config -> Catalog.t -> Subql_nested.Nested_ast.query -> candidate
+(** The cheapest candidate. *)
+
+val run :
+  ?config:Eval.config -> Catalog.t -> Subql_nested.Nested_ast.query -> Relation.t
+(** Choose and evaluate. *)
+
+val set_unnest_providers :
+  semijoin:(Catalog.t -> Subql_nested.Nested_ast.query -> Algebra.t option) ->
+  outerjoin:(Catalog.t -> Subql_nested.Nested_ast.query -> Algebra.t option) ->
+  unit
+(** Called once by [Subql_unnest] at load time. *)

@@ -1,0 +1,1 @@
+lib/gmdj/distributed.ml: Aggregate Array Expr Fun Gmdj List Ops Option Relation Schema String Subql_relational Tuple Value Vec

@@ -1,0 +1,1 @@
+lib/gmdj/distributed.mli: Gmdj Relation Subql_relational

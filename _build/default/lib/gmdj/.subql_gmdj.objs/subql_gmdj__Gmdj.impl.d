@@ -1,0 +1,1 @@
+lib/gmdj/gmdj.ml: Aggregate Array Domain Expr Format Index List Relation Schema Seq Subql_relational Tuple Vec

@@ -1,0 +1,1 @@
+lib/gmdj/gmdj.mli: Aggregate Expr Format Relation Schema Subql_relational

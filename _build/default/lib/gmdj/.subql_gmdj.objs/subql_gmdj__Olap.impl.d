@@ -1,0 +1,1 @@
+lib/gmdj/olap.ml: Aggregate Array Expr Gmdj List Ops Relation Schema Subql_relational Tuple Value Vec

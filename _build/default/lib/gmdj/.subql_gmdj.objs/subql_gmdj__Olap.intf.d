@@ -1,0 +1,1 @@
+lib/gmdj/olap.mli: Aggregate Relation Subql_relational

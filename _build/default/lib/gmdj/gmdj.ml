@@ -1,0 +1,516 @@
+open Subql_relational
+
+type block = { aggs : Aggregate.spec list; theta : Expr.t }
+
+type strategy = [ `Reference | `Scan | `Hash ]
+
+type stats = {
+  mutable detail_scanned : int;
+  mutable theta_evals : int;
+  mutable early_exit : bool;
+}
+
+let fresh_stats () = { detail_scanned = 0; theta_evals = 0; early_exit = false }
+
+let block aggs theta = { aggs; theta }
+
+let pp_block ppf b =
+  Format.fprintf ppf "[%a | %a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Aggregate.pp_spec)
+    b.aggs Expr.pp b.theta
+
+type completion = {
+  kill_when : Expr.t list;
+  require_fired : Expr.t list;
+  maintain_aggregates : bool;
+}
+
+let pp_completion ppf c =
+  let pp_list = Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") Expr.pp in
+  Format.fprintf ppf "{kill: %a; require: %a; aggregates %s}" pp_list c.kill_when pp_list
+    c.require_fired
+    (if c.maintain_aggregates then "maintained" else "skipped")
+
+let output_schema ~base ~detail blocks =
+  let frames = [| base; detail |] in
+  List.fold_left
+    (fun acc b ->
+      List.fold_left
+        (fun s spec ->
+          let name = Schema.fresh_name s spec.Aggregate.name in
+          Schema.concat s [| Schema.attr name (Aggregate.output_ty frames spec) |])
+        acc b.aggs)
+    base blocks
+
+(* ------------------------------------------------------------------ *)
+(* θ-plans                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A compiled plan for one θ-like condition over (base, detail):
+
+   - [prefilter] holds the conjuncts that mention only detail attributes
+     (the invariants of Rao & Ross): they are tested once per detail row
+     instead of once per (base, detail) pair;
+   - [probe] either iterates hash-bucket candidates (equi-conditions
+     extracted, residual tested per candidate) or tests the remaining
+     condition against every candidate the caller supplies. *)
+type plan = {
+  prefilter : (Tuple.t -> bool) option;
+  probe : probe;
+}
+
+and probe =
+  | Probe_hash of {
+      key_of_detail : Tuple.t -> Tuple.t;
+      index : Index.t;
+      test : Tuple.t -> Tuple.t -> bool;
+    }
+  | Probe_all of { test : Tuple.t -> Tuple.t -> bool }
+
+let make_pair_test ~stats ~bs ~ds expr =
+  match expr with
+  | None -> fun _ _ -> true
+  | Some e ->
+    let f = Expr.compile_frames [| bs; ds |] e in
+    let ctx = [| Tuple.empty; Tuple.empty |] in
+    let test b r =
+      ctx.(0) <- b;
+      ctx.(1) <- r;
+      Expr.is_true (f ctx)
+    in
+    (match stats with
+    | None -> test
+    | Some s ->
+      fun b r ->
+        s.theta_evals <- s.theta_evals + 1;
+        test b r)
+
+let make_plan ~strategy ~stats ~bs ~ds ~base_rows theta =
+  Expr.typecheck_bool [| bs; ds |] theta;
+  let detail_only, correlated =
+    List.partition (Expr.refs_resolvable [| ds |]) (Expr.conjuncts theta)
+  in
+  let prefilter =
+    match detail_only with
+    | [] -> None
+    | conjs ->
+      let f = Expr.compile ds (Expr.conjoin conjs) in
+      Some
+        (match stats with
+        | None -> fun r -> Expr.is_true (f r)
+        | Some s ->
+          fun r ->
+            s.theta_evals <- s.theta_evals + 1;
+            Expr.is_true (f r))
+  in
+  let correlated_expr =
+    match correlated with [] -> None | conjs -> Some (Expr.conjoin conjs)
+  in
+  let probe =
+    match strategy, correlated_expr with
+    | (`Scan | `Reference), _ | `Hash, None ->
+      Probe_all { test = make_pair_test ~stats ~bs ~ds correlated_expr }
+    | `Hash, Some expr -> (
+      let pairs, residual = Expr.split_equi ~left:bs ~right:ds expr in
+      match pairs with
+      | [] -> Probe_all { test = make_pair_test ~stats ~bs ~ds correlated_expr }
+      | _ ->
+        let bcols = Array.of_list (List.map fst pairs) in
+        let dcols = Array.of_list (List.map snd pairs) in
+        let index = Index.build_rows base_rows bcols in
+        Probe_hash
+          {
+            key_of_detail = (fun drow -> Array.map (fun c -> drow.(c)) dcols);
+            index;
+            test = make_pair_test ~stats ~bs ~ds residual;
+          })
+  in
+  { prefilter; probe }
+
+let prefilter_passes plan drow =
+  match plan.prefilter with None -> true | Some f -> f drow
+
+(* ------------------------------------------------------------------ *)
+(* Accumulators                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Accumulator matrix: accs.(bi).(block).(agg). *)
+let make_accs ~bs ~ds ~n_base blocks =
+  let frames = [| bs; ds |] in
+  let compiled =
+    Array.of_list
+      (List.map (fun b -> Array.of_list (List.map (Aggregate.compile frames) b.aggs)) blocks)
+  in
+  Array.init n_base (fun _ -> Array.map (Array.map Aggregate.make) compiled)
+
+let emit_row base_row accs_row =
+  let agg_values =
+    Array.concat (Array.to_list (Array.map (Array.map Aggregate.value) accs_row))
+  in
+  Tuple.concat base_row agg_values
+
+(* ------------------------------------------------------------------ *)
+(* Plain evaluation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let reference_eval ~base ~detail blocks =
+  let bs = Relation.schema base and ds = Relation.schema detail in
+  let out_schema = output_schema ~base:bs ~detail:ds blocks in
+  let frames = [| bs; ds |] in
+  let blocks = Array.of_list blocks in
+  Array.iter (fun b -> Expr.typecheck_bool frames b.theta) blocks;
+  let thetas = Array.map (fun b -> Expr.compile_frames frames b.theta) blocks in
+  let compiled =
+    Array.map (fun b -> Array.of_list (List.map (Aggregate.compile frames) b.aggs)) blocks
+  in
+  let ctx = [| Tuple.empty; Tuple.empty |] in
+  let rows =
+    Array.map
+      (fun brow ->
+        let accs_row = Array.map (Array.map Aggregate.make) compiled in
+        Array.iteri
+          (fun i theta ->
+            Relation.iter
+              (fun drow ->
+                ctx.(0) <- brow;
+                ctx.(1) <- drow;
+                if Expr.is_true (theta ctx) then
+                  Array.iter (fun acc -> Aggregate.step acc ctx) accs_row.(i))
+              detail)
+          thetas;
+        emit_row brow accs_row)
+      (Relation.rows base)
+  in
+  Relation.create ~check:false out_schema rows
+
+(* Feed the detail rows in positions [lo, hi) into the accumulators;
+   [apply] is {!Aggregate.step} for evaluation and insertions, and
+   {!Aggregate.step_back} for deletion maintenance. *)
+let accumulate_range ?(apply = Aggregate.step) ~plans ~accs ~base_rows ~detail_rows ~stats lo
+    hi =
+  let n_base = Array.length base_rows in
+  let ctx = [| Tuple.empty; Tuple.empty |] in
+  let update block_i drow bi =
+    ctx.(0) <- base_rows.(bi);
+    ctx.(1) <- drow;
+    Array.iter (fun acc -> apply acc ctx) accs.(bi).(block_i)
+  in
+  for ri = lo to hi - 1 do
+    let drow = detail_rows.(ri) in
+    (match stats with Some s -> s.detail_scanned <- s.detail_scanned + 1 | None -> ());
+    Array.iteri
+      (fun block_i plan ->
+        if prefilter_passes plan drow then
+          match plan.probe with
+          | Probe_hash { key_of_detail; index; test } ->
+            Index.probe_iter index (key_of_detail drow) (fun bi ->
+                if test base_rows.(bi) drow then update block_i drow bi)
+          | Probe_all { test } ->
+            for bi = 0 to n_base - 1 do
+              if test base_rows.(bi) drow then update block_i drow bi
+            done)
+      plans
+  done
+
+let scan_eval ~strategy ~stats ~base ~detail blocks =
+  let bs = Relation.schema base and ds = Relation.schema detail in
+  let out_schema = output_schema ~base:bs ~detail:ds blocks in
+  let base_rows = Relation.rows base in
+  let n_base = Array.length base_rows in
+  let detail_rows = Relation.rows detail in
+  let plans =
+    Array.of_list
+      (List.map (fun b -> make_plan ~strategy ~stats ~bs ~ds ~base_rows b.theta) blocks)
+  in
+  let accs = make_accs ~bs ~ds ~n_base blocks in
+  accumulate_range ~plans ~accs ~base_rows ~detail_rows ~stats 0 (Array.length detail_rows);
+  let rows = Array.mapi (fun bi brow -> emit_row brow accs.(bi)) base_rows in
+  Relation.create ~check:false out_schema rows
+
+let eval ?(strategy = `Hash) ?stats ~base ~detail blocks =
+  match strategy with
+  | `Reference -> reference_eval ~base ~detail blocks
+  | `Scan | `Hash -> scan_eval ~strategy ~stats ~base ~detail blocks
+
+let eval_partitioned ?(strategy = `Hash) ?stats ~domains ~base ~detail blocks =
+  if domains <= 0 then invalid_arg "Gmdj.eval_partitioned: domains must be positive";
+  let strategy = match strategy with `Reference -> `Scan | (`Scan | `Hash) as s -> s in
+  let detail_rows = Relation.rows detail in
+  let n_detail = Array.length detail_rows in
+  let domains = max 1 (min domains n_detail) in
+  if domains = 1 then eval ~strategy ?stats ~base ~detail blocks
+  else begin
+    let bs = Relation.schema base and ds = Relation.schema detail in
+    let out_schema = output_schema ~base:bs ~detail:ds blocks in
+    let base_rows = Relation.rows base in
+    let n_base = Array.length base_rows in
+    let chunk = (n_detail + domains - 1) / domains in
+    (* Each domain owns its plans (compiled closures and hash indexes
+       carry per-evaluation mutable buffers) and its accumulator matrix;
+       the base and detail row arrays are shared read-only. *)
+    let work lo hi () =
+      let local_stats = fresh_stats () in
+      let plans =
+        Array.of_list
+          (List.map
+             (fun b -> make_plan ~strategy ~stats:(Some local_stats) ~bs ~ds ~base_rows b.theta)
+             blocks)
+      in
+      let accs = make_accs ~bs ~ds ~n_base blocks in
+      accumulate_range ~plans ~accs ~base_rows ~detail_rows ~stats:(Some local_stats) lo hi;
+      (accs, local_stats)
+    in
+    let handles =
+      List.init domains (fun d ->
+          let lo = d * chunk in
+          let hi = min n_detail (lo + chunk) in
+          Domain.spawn (work lo hi))
+    in
+    let results = List.map Domain.join handles in
+    let merged, first_stats =
+      match results with r :: _ -> r | [] -> assert false
+    in
+    let total_stats = first_stats in
+    List.iteri
+      (fun i (accs, st) ->
+        if i > 0 then begin
+          Array.iteri
+            (fun bi per_block ->
+              Array.iteri
+                (fun block_i per_agg ->
+                  Array.iteri
+                    (fun agg_i acc -> Aggregate.merge ~into:merged.(bi).(block_i).(agg_i) acc)
+                    per_agg)
+                per_block)
+            accs;
+          total_stats.detail_scanned <- total_stats.detail_scanned + st.detail_scanned;
+          total_stats.theta_evals <- total_stats.theta_evals + st.theta_evals
+        end)
+      results;
+    (match stats with
+    | Some s ->
+      s.detail_scanned <- s.detail_scanned + total_stats.detail_scanned;
+      s.theta_evals <- s.theta_evals + total_stats.theta_evals
+    | None -> ());
+    let rows = Array.mapi (fun bi brow -> emit_row brow merged.(bi)) base_rows in
+    Relation.create ~check:false out_schema rows
+  end
+
+let eval_segmented ?(strategy = `Hash) ?stats ~segment_size ~base ~detail blocks =
+  if segment_size <= 0 then invalid_arg "Gmdj.eval_segmented: segment_size must be positive";
+  let bs = Relation.schema base and ds = Relation.schema detail in
+  let out_schema = output_schema ~base:bs ~detail:ds blocks in
+  let base_rows = Relation.rows base in
+  let n_base = Array.length base_rows in
+  if n_base <= segment_size then eval ~strategy ?stats ~base ~detail blocks
+  else begin
+    let out = Vec.create ~capacity:n_base ~dummy:Tuple.empty () in
+    let offset = ref 0 in
+    while !offset < n_base do
+      let len = min segment_size (n_base - !offset) in
+      let segment =
+        Relation.create ~check:false bs (Array.sub base_rows !offset len)
+      in
+      let partial =
+        match strategy with
+        | `Reference -> reference_eval ~base:segment ~detail blocks
+        | `Scan | `Hash -> scan_eval ~strategy ~stats ~base:segment ~detail blocks
+      in
+      Relation.iter (Vec.push out) partial;
+      offset := !offset + len
+    done;
+    Relation.create ~check:false out_schema (Vec.to_array out)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Completion-aware evaluation (Section 4.2)                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Scan_done
+
+let eval_completed ?(strategy = `Hash) ?stats ~completion ~base ~detail blocks =
+  let strategy = match strategy with `Reference -> `Scan | (`Scan | `Hash) as s -> s in
+  let bs = Relation.schema base and ds = Relation.schema detail in
+  let out_schema = output_schema ~base:bs ~detail:ds blocks in
+  let base_rows = Relation.rows base in
+  let n_base = Array.length base_rows in
+  let mk = make_plan ~strategy ~stats ~bs ~ds ~base_rows in
+  let kill_plans = Array.of_list (List.map mk completion.kill_when) in
+  let fired_plans = Array.of_list (List.map mk completion.require_fired) in
+  let block_plans =
+    if completion.maintain_aggregates then
+      Array.of_list (List.map (fun b -> mk b.theta) blocks)
+    else [||]
+  in
+  let accs = make_accs ~bs ~ds ~n_base blocks in
+  let alive = Array.make n_base true in
+  let n_fired_preds = Array.length fired_plans in
+  let fired = Array.make_matrix (max n_fired_preds 1) n_base false in
+  let unfired = Array.make n_base n_fired_preds in
+  (* A base tuple is settled — removable from the scan — once it is
+     killed (Thm 4.2), or, when there are no kill predicates and the
+     aggregates are not needed, once every require-fired predicate has
+     fired for it (Thm 4.1). *)
+  let has_kills = Array.length kill_plans > 0 in
+  let positive_settles = (not has_kills) && not completion.maintain_aggregates in
+  let settled = Array.make n_base false in
+  let n_settled = ref 0 in
+  (* Early termination is sound only when settled tuples account for the
+     whole base: killed ones produce no output and positively-settled
+     ones need no further updates. *)
+  let early_exit_allowed = not completion.maintain_aggregates in
+  let settle bi =
+    if not settled.(bi) then begin
+      settled.(bi) <- true;
+      incr n_settled;
+      if early_exit_allowed && !n_settled >= n_base then raise Scan_done
+    end
+  in
+  (* The scan probes of Probe_all plans iterate an explicit active list;
+     it is compacted whenever at least a quarter of it has settled, so a
+     mostly-decided base stops costing per-pair work (the paper's
+     "transferring the completed tuples to disk"). *)
+  let active = ref (Array.init n_base (fun i -> i)) in
+  let settled_at_compact = ref 0 in
+  let compact () =
+    if
+      Array.length !active > 64
+      && 4 * (!n_settled - !settled_at_compact) > Array.length !active
+    then begin
+      active := Array.of_seq (Seq.filter (fun bi -> not settled.(bi)) (Array.to_seq !active));
+      settled_at_compact := !n_settled
+    end
+  in
+  let iterate_candidates plan drow f =
+    match plan.probe with
+    | Probe_hash { key_of_detail; index; test } ->
+      Index.probe_iter index (key_of_detail drow) (fun bi ->
+          if (not settled.(bi)) && test base_rows.(bi) drow then f bi)
+    | Probe_all { test } ->
+      let a = !active in
+      for i = 0 to Array.length a - 1 do
+        let bi = a.(i) in
+        if (not settled.(bi)) && test base_rows.(bi) drow then f bi
+      done
+  in
+  let ctx = [| Tuple.empty; Tuple.empty |] in
+  if n_base > 0 && not (early_exit_allowed && (not has_kills) && n_fired_preds = 0) then begin
+    try
+      Relation.iter
+        (fun drow ->
+          (match stats with Some s -> s.detail_scanned <- s.detail_scanned + 1 | None -> ());
+          Array.iter
+            (fun plan ->
+              if prefilter_passes plan drow then
+                iterate_candidates plan drow (fun bi ->
+                    if alive.(bi) then begin
+                      alive.(bi) <- false;
+                      settle bi
+                    end))
+            kill_plans;
+          Array.iteri
+            (fun pi plan ->
+              if prefilter_passes plan drow then
+                iterate_candidates plan drow (fun bi ->
+                    if alive.(bi) && not fired.(pi).(bi) then begin
+                      fired.(pi).(bi) <- true;
+                      unfired.(bi) <- unfired.(bi) - 1;
+                      if positive_settles && unfired.(bi) = 0 then settle bi
+                    end))
+            fired_plans;
+          Array.iteri
+            (fun block_i plan ->
+              if prefilter_passes plan drow then
+                iterate_candidates plan drow (fun bi ->
+                    if alive.(bi) then begin
+                      ctx.(0) <- base_rows.(bi);
+                      ctx.(1) <- drow;
+                      Array.iter (fun acc -> Aggregate.step acc ctx) accs.(bi).(block_i)
+                    end))
+            block_plans;
+          compact ())
+        detail
+    with Scan_done -> ( match stats with Some s -> s.early_exit <- true | None -> ())
+  end
+  else if n_base > 0 then begin
+    match stats with Some s -> s.early_exit <- true | None -> ()
+  end;
+  let out = Vec.create ~dummy:Tuple.empty () in
+  Array.iteri
+    (fun bi brow ->
+      if alive.(bi) && unfired.(bi) = 0 then Vec.push out (emit_row brow accs.(bi)))
+    base_rows;
+  Relation.create ~check:false out_schema (Vec.to_array out)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental view maintenance                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Maintain = struct
+  type t = {
+    out_schema : Schema.t;
+    detail_schema : Schema.t;
+    plans : plan array;
+    accs : Aggregate.acc array array array;
+    base_rows : Tuple.t array;
+    has_minmax : bool;
+  }
+
+  let has_minmax_agg blocks =
+    List.exists
+      (fun b ->
+        List.exists
+          (fun s ->
+            match s.Aggregate.func with
+            | Aggregate.Min _ | Aggregate.Max _ -> true
+            | Aggregate.Count_star | Aggregate.Count _ | Aggregate.Sum _ | Aggregate.Avg _
+              ->
+              false)
+          b.aggs)
+      blocks
+
+  let create ?(strategy = `Hash) ~base ~detail blocks =
+    let strategy = match strategy with `Reference -> `Scan | (`Scan | `Hash) as s -> s in
+    let bs = Relation.schema base and ds = Relation.schema detail in
+    let base_rows = Relation.rows base in
+    let plans =
+      Array.of_list
+        (List.map (fun b -> make_plan ~strategy ~stats:None ~bs ~ds ~base_rows b.theta) blocks)
+    in
+    let accs = make_accs ~bs ~ds ~n_base:(Array.length base_rows) blocks in
+    let detail_rows = Relation.rows detail in
+    accumulate_range ~plans ~accs ~base_rows ~detail_rows ~stats:None 0
+      (Array.length detail_rows);
+    {
+      out_schema = output_schema ~base:bs ~detail:ds blocks;
+      detail_schema = ds;
+      plans;
+      accs;
+      base_rows;
+      has_minmax = has_minmax_agg blocks;
+    }
+
+  let check_delta t delta =
+    if not (Schema.equal_names (Relation.schema delta) t.detail_schema) then
+      invalid_arg "Gmdj.Maintain: delta schema does not match the detail schema"
+
+  let insert_detail t delta =
+    check_delta t delta;
+    let detail_rows = Relation.rows delta in
+    accumulate_range ~plans:t.plans ~accs:t.accs ~base_rows:t.base_rows ~detail_rows
+      ~stats:None 0 (Array.length detail_rows)
+
+  let delete_detail t delta =
+    check_delta t delta;
+    if t.has_minmax then
+      invalid_arg "Gmdj.Maintain: MIN/MAX views cannot be maintained under deletions";
+    let detail_rows = Relation.rows delta in
+    accumulate_range ~apply:Aggregate.step_back ~plans:t.plans ~accs:t.accs
+      ~base_rows:t.base_rows ~detail_rows ~stats:None 0 (Array.length detail_rows)
+
+  let result t =
+    Relation.create ~check:false t.out_schema
+      (Array.mapi (fun bi brow -> emit_row brow t.accs.(bi)) t.base_rows)
+end

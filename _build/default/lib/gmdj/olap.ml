@@ -1,0 +1,162 @@
+open Subql_relational
+
+type via = [ `Group_by | `Gmdj ]
+
+(* Key bookkeeping: the union of all referenced columns, in
+   first-appearance order, with their positions in the detail schema. *)
+type keyinfo = { ref_ : string option * string; pos : int; attr : Schema.attr }
+
+let collect_keys detail sets =
+  let schema = Relation.schema detail in
+  List.fold_left
+    (fun acc set ->
+      List.fold_left
+        (fun acc (rel, name) ->
+          if List.exists (fun k -> k.ref_ = (rel, name)) acc then acc
+          else
+            let pos = Schema.find schema ?rel name in
+            acc @ [ { ref_ = (rel, name); pos; attr = Schema.attr_at schema pos } ])
+        acc set)
+    [] sets
+
+(* The shared output prefix: gset plus one column per key (bare names,
+   uniquified), so both routes produce positionally identical schemas. *)
+let key_schema keys =
+  List.fold_left
+    (fun s k ->
+      let name = Schema.fresh_name s k.attr.Schema.name in
+      Schema.concat s [| Schema.attr name k.attr.Schema.ty |])
+    (Schema.of_list [ Schema.attr "gset" Value.Tint ])
+    keys
+
+let member set k = List.mem k.ref_ set
+
+(* --- route 1: one aggregation per set, padded and unioned ------------- *)
+
+let via_group_by ~sets ~aggs ~keys detail =
+  let prefix = key_schema keys in
+  let agg_attrs =
+    List.map
+      (fun spec ->
+        Schema.attr spec.Aggregate.name
+          (Aggregate.output_ty [| Relation.schema detail |] spec))
+      aggs
+  in
+  let out_schema = Schema.concat prefix (Schema.of_list agg_attrs) in
+  let rows = Vec.create ~dummy:Tuple.empty () in
+  List.iteri
+    (fun set_i set ->
+      let set_keys = List.filter (member set) keys in
+      let grouped =
+        match set_keys with
+        | [] -> Ops.aggregate_all aggs detail
+        | _ -> Ops.group_by ~keys:(List.map (fun k -> k.ref_) set_keys) ~aggs detail
+      in
+      (* Grouped schema: set keys (in [keys] order) then aggregates. *)
+      Relation.iter
+        (fun row ->
+          let padded = Array.make (Schema.arity out_schema) Value.Null in
+          padded.(0) <- Value.Int set_i;
+          let set_col = ref 0 in
+          List.iteri
+            (fun key_i k ->
+              if member set k then begin
+                padded.(key_i + 1) <- row.(!set_col);
+                incr set_col
+              end)
+            keys;
+          List.iteri
+            (fun agg_i _ ->
+              padded.(List.length keys + 1 + agg_i) <- row.(List.length set_keys + agg_i))
+            aggs;
+          Vec.push rows padded)
+        grouped)
+    sets;
+  Relation.create ~check:false out_schema (Vec.to_array rows)
+
+(* --- route 2: one GMDJ over the union of padded key combinations ------ *)
+
+let via_gmdj ~sets ~aggs ~keys detail =
+  let prefix = key_schema keys in
+  (* Base-values relation: for each grouping set, the distinct padded key
+     combinations tagged with the set id. *)
+  let base_rows = Vec.create ~dummy:Tuple.empty () in
+  List.iteri
+    (fun set_i set ->
+      let set_keys = List.filter (member set) keys in
+      let combos =
+        match set_keys with
+        | [] ->
+          Relation.create ~check:false (Schema.of_list []) [| [||] |]
+        | _ ->
+          Ops.project_cols ~distinct:true (List.map (fun k -> k.ref_) set_keys) detail
+      in
+      Relation.iter
+        (fun row ->
+          let padded = Array.make (Schema.arity prefix) Value.Null in
+          padded.(0) <- Value.Int set_i;
+          let set_col = ref 0 in
+          List.iteri
+            (fun key_i k ->
+              if member set k then begin
+                padded.(key_i + 1) <- row.(!set_col);
+                incr set_col
+              end)
+            keys;
+          Vec.push base_rows padded)
+        combos)
+    sets;
+  let base =
+    Relation.create ~check:false (Schema.rename_rel "gs" prefix) (Vec.to_array base_rows)
+  in
+  (* θ: the detail row belongs to a base cell iff for the cell's grouping
+     set every set key matches null-safely.  One disjunct per set. *)
+  let theta =
+    Expr.disjoin
+      (List.mapi
+         (fun set_i set ->
+           let set_conds =
+             List.filter_map
+               (fun (key_i, k) ->
+                 if member set k then
+                   let rel, name = k.ref_ in
+                   let base_attr = Schema.attr_at (Relation.schema base) (key_i + 1) in
+                   Some
+                     (Expr.Null_safe_eq
+                        (Expr.attr ~rel:"gs" base_attr.Schema.name, Expr.Attr (rel, name)))
+                 else None)
+               (List.mapi (fun i k -> (i, k)) keys)
+           in
+           Expr.conjoin
+             (Expr.eq (Expr.attr ~rel:"gs" "gset") (Expr.int set_i) :: set_conds))
+         sets)
+  in
+  let result = Gmdj.eval ~base ~detail [ Gmdj.block aggs theta ] in
+  (* Strip the "gs" qualifier so both routes agree on the schema. *)
+  Relation.create ~check:false
+    (Schema.of_list
+       (List.map
+          (fun a -> { a with Schema.rel = "" })
+          (Schema.to_list (Relation.schema result))))
+    (Relation.rows result)
+
+let grouping_sets ?(via = `Gmdj) ~sets ~aggs detail =
+  if sets = [] then invalid_arg "Olap.grouping_sets: no grouping sets";
+  let keys = collect_keys detail sets in
+  match via with
+  | `Group_by -> via_group_by ~sets ~aggs ~keys detail
+  | `Gmdj -> via_gmdj ~sets ~aggs ~keys detail
+
+let rollup ?via ~keys ~aggs detail =
+  let rec prefixes = function [] -> [ [] ] | _ :: _ as l -> l :: prefixes (List.rev (List.tl (List.rev l))) in
+  grouping_sets ?via ~sets:(prefixes keys) ~aggs detail
+
+let cube ?via ~keys ~aggs detail =
+  if List.length keys > 12 then invalid_arg "Olap.cube: too many key columns";
+  let rec subsets = function
+    | [] -> [ [] ]
+    | k :: rest ->
+      let without = subsets rest in
+      List.map (fun s -> k :: s) without @ without
+  in
+  grouping_sets ?via ~sets:(subsets keys) ~aggs detail

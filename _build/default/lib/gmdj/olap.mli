@@ -1,0 +1,49 @@
+(** Grouping sets, ROLLUP and CUBE — the complex-OLAP groupings the
+    GMDJ was designed to express (Gray et al.'s data cube and the
+    groupwise processing of Chatziantoniou & Ross, both motivating the
+    MD-join line of work).
+
+    Each grouping set contributes one group row per distinct key
+    combination; key columns that are not part of a row's grouping set
+    are NULL, as in SQL.  The result carries a leading [gset] column
+    with the 0-based index of the grouping set a row belongs to (SQL's
+    GROUPING() disambiguator for genuine NULL keys).
+
+    Two evaluation routes produce identical results:
+    - [`Group_by] — one hash aggregation per grouping set, unioned;
+    - [`Gmdj] — a single GMDJ whose base-values relation is the union
+      of the distinct padded key combinations and whose θ matches each
+      base row to its range by grouping-set id and null-safe key
+      equality: {e every cell of every grouping set is filled in one
+      scan of the detail relation}. *)
+
+open Subql_relational
+
+type via = [ `Group_by | `Gmdj ]
+
+val grouping_sets :
+  ?via:via ->
+  sets:(string option * string) list list ->
+  aggs:Aggregate.spec list ->
+  Relation.t ->
+  Relation.t
+(** Output schema: [gset : int], the union of all referenced key columns
+    (first-appearance order, original types), then the aggregates.
+    @raise Invalid_argument on an empty set list. *)
+
+val rollup :
+  ?via:via ->
+  keys:(string option * string) list ->
+  aggs:Aggregate.spec list ->
+  Relation.t ->
+  Relation.t
+(** [rollup ~keys] is the grouping sets [keys; keys-minus-last; ...; []]. *)
+
+val cube :
+  ?via:via ->
+  keys:(string option * string) list ->
+  aggs:Aggregate.spec list ->
+  Relation.t ->
+  Relation.t
+(** All [2^n] subsets of [keys] (n ≤ 12 to keep the cube bounded).
+    @raise Invalid_argument when [keys] has more than 12 columns. *)

@@ -1,0 +1,1 @@
+lib/nested/naive_eval.ml: Aggregate Array Bool3 Catalog Expr Index List Nested_ast Normalize Ops Relation Schema Subql_relational Tuple

@@ -1,0 +1,1 @@
+lib/nested/naive_eval.mli: Catalog Nested_ast Relation Subql_relational

@@ -1,0 +1,1 @@
+lib/nested/nested_ast.ml: Aggregate Expr Format List String Subql_relational

@@ -1,0 +1,1 @@
+lib/nested/nested_ast.mli: Aggregate Expr Format Subql_relational

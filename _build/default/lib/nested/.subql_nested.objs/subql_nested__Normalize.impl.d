@@ -1,0 +1,1 @@
+lib/nested/normalize.ml: Expr Nested_ast Subql_relational

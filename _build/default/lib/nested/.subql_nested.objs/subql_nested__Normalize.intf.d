@@ -1,0 +1,1 @@
+lib/nested/normalize.mli: Nested_ast

@@ -1,0 +1,1 @@
+lib/nested/scope.ml: Aggregate Expr List Nested_ast Subql_relational

@@ -1,0 +1,1 @@
+lib/nested/scope.mli: Nested_ast Subql_relational

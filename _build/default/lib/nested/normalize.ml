@@ -1,0 +1,46 @@
+open Subql_relational
+open Nested_ast
+
+let desugar_kind = function
+  | In_ (lhs, col) -> Quant (lhs, Expr.Eq, Qsome, col)
+  | Not_in (lhs, col) -> Quant (lhs, Expr.Ne, Qall, col)
+  | (Exists | Not_exists | Cmp_scalar _ | Cmp_agg _ | Quant _) as k -> k
+
+let rec negate_kind = function
+  | Exists -> Not_exists
+  | Not_exists -> Exists
+  | Cmp_scalar (lhs, op, col) -> Cmp_scalar (lhs, Expr.negate_cmp op, col)
+  | Cmp_agg (lhs, op, f) -> Cmp_agg (lhs, Expr.negate_cmp op, f)
+  | Quant (lhs, op, Qsome, col) -> Quant (lhs, Expr.negate_cmp op, Qall, col)
+  | Quant (lhs, op, Qall, col) -> Quant (lhs, Expr.negate_cmp op, Qsome, col)
+  | (In_ _ | Not_in _) as k -> negate_kind (desugar_kind k)
+
+(* [positive p] normalizes [p]; [negative p] normalizes [¬p]. *)
+let rec positive = function
+  | Ptrue -> Ptrue
+  | Atom e -> Atom e
+  | Pand (a, b) -> Pand (positive a, positive b)
+  | Por (a, b) -> Por (positive a, positive b)
+  | Pnot p -> negative p
+  | Sub s -> Sub (normalize_sub s)
+
+and negative = function
+  | Ptrue -> Atom (Expr.bool false)
+  | Atom e -> Atom (Expr.not_ e)
+  | Pand (a, b) -> Por (negative a, negative b)
+  | Por (a, b) -> Pand (negative a, negative b)
+  | Pnot p -> positive p
+  | Sub s -> Sub (normalize_sub { s with kind = negate_kind s.kind })
+
+and normalize_sub s = { s with kind = desugar_kind s.kind; s_where = positive s.s_where }
+
+let pred = positive
+
+let query q = { q with q_where = positive q.q_where }
+
+let rec is_normalized = function
+  | Ptrue | Atom _ -> true
+  | Pand (a, b) | Por (a, b) -> is_normalized a && is_normalized b
+  | Pnot _ -> false
+  | Sub { kind = In_ _ | Not_in _; _ } -> false
+  | Sub { s_where; _ } -> is_normalized s_where

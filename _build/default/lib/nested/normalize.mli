@@ -1,0 +1,21 @@
+(** Negation normalization (first phase of Algorithm SubqueryToGMDJ).
+
+    Pushes negations down to atomic predicates with De Morgan's laws and
+    eliminates negations in front of subqueries with the paper's flip
+    rules:
+
+    - [¬(t φ S)       ⇒ t φ̄ S]
+    - [¬(t φ_some S)  ⇒ t φ̄_all S]
+    - [¬(t φ_all S)   ⇒ t φ̄_some S]
+    - [¬∃S ⇒ ∄S] and [¬∄S ⇒ ∃S]
+
+    IN / NOT IN are desugared to [=_some] / [≠_all] on the way.  The
+    result contains no [Pnot] and no [In_]/[Not_in] nodes, and every
+    subquery body is normalized as well. *)
+
+val pred : Nested_ast.pred -> Nested_ast.pred
+
+val query : Nested_ast.query -> Nested_ast.query
+
+val is_normalized : Nested_ast.pred -> bool
+(** No [Pnot], [In_], or [Not_in] anywhere (including subquery bodies). *)

@@ -1,0 +1,27 @@
+(** Free-reference and correlation analysis (Sections 2.1 and 3.2).
+
+    A {e free reference} is a qualified attribute reference whose
+    qualifier is not bound in the local scope.  A subquery whose free
+    references all target the immediately enclosing scope has only
+    {e neighboring} correlation predicates; references that skip a level
+    are {e non-neighboring} and force base-table push-down (Thms
+    3.3/3.4).  Unqualified references always resolve locally and never
+    count as free. *)
+
+val kind_exprs : Nested_ast.sub_kind -> Subql_relational.Expr.t list
+(** The outer-scope expressions embedded in a subquery kind (the
+    comparison lhs); aggregate arguments are local and excluded. *)
+
+val free_aliases_pred : local:string list -> Nested_ast.pred -> string list
+(** Qualifiers referenced by the predicate (including inside nested
+    subqueries, whose own aliases extend [local] as we descend) that are
+    not in [local].  Distinct, first-appearance order. *)
+
+val free_aliases_sub : Nested_ast.sub -> string list
+(** Free aliases of a subquery: references in its kind and body not
+    bound by its own alias. *)
+
+val non_neighboring : enclosing:string list -> Nested_ast.sub -> string list
+(** Free aliases of the subquery outside [enclosing] (the aliases of the
+    immediately enclosing scope) — the aliases that make its correlation
+    predicates non-neighboring. *)

@@ -1,0 +1,1 @@
+lib/relational/aggregate.ml: Expr Format Option Printf Tuple Value

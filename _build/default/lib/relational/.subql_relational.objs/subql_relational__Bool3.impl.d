@@ -1,0 +1,1 @@
+lib/relational/bool3.ml: Format

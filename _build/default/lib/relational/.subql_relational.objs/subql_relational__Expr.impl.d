@@ -1,0 +1,1 @@
+lib/relational/expr.ml: Array Bool3 Format List Schema Tuple Value

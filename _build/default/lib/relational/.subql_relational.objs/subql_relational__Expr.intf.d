@@ -1,0 +1,1 @@
+lib/relational/expr.mli: Bool3 Format Schema Tuple Value

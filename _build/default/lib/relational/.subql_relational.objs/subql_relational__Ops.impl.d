@@ -1,0 +1,1 @@
+lib/relational/ops.ml: Aggregate Array Expr Hashtbl Index List Option Relation Schema Tuple Value Vec

@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Array Format Printf Schema Seq String Tuple Value

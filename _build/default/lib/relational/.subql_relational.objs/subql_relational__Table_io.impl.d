@@ -1,0 +1,1 @@
+lib/relational/table_io.ml: Array Fun In_channel List Printf Relation Schema String Tuple Value Vec

@@ -1,0 +1,29 @@
+type t = True | False | Unknown
+
+let of_bool b = if b then True else False
+
+let to_bool = function True -> true | False | Unknown -> false
+
+let not_ = function True -> False | False -> True | Unknown -> Unknown
+
+let and_ a b =
+  match a, b with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | Unknown, (True | Unknown) | True, Unknown -> Unknown
+
+let or_ a b =
+  match a, b with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | Unknown, (False | Unknown) | False, Unknown -> Unknown
+
+let ( &&& ) = and_
+
+let ( ||| ) = or_
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function True -> "true" | False -> "false" | Unknown -> "unknown"
+
+let pp ppf b = Format.pp_print_string ppf (to_string b)

@@ -1,0 +1,28 @@
+(** Kleene three-valued logic.
+
+    SQL predicates evaluate to [True], [False] or [Unknown]; the latter
+    arises from comparisons involving NULL.  Selections keep a row only
+    when the predicate is [True] ("where-clause truncation"). *)
+
+type t = True | False | Unknown
+
+val of_bool : bool -> t
+
+val to_bool : t -> bool
+(** [to_bool b3] is [true] iff [b3 = True] (truncation semantics). *)
+
+val not_ : t -> t
+
+val and_ : t -> t -> t
+
+val or_ : t -> t -> t
+
+val ( &&& ) : t -> t -> t
+
+val ( ||| ) : t -> t -> t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,21 @@
+type t = (string, Relation.t) Hashtbl.t
+
+exception Unknown_table of string
+
+let create () = Hashtbl.create 16
+
+let add t name rel = Hashtbl.replace t name (Relation.rename name rel)
+
+let find t name =
+  match Hashtbl.find_opt t name with
+  | Some rel -> rel
+  | None -> raise (Unknown_table name)
+
+let find_opt = Hashtbl.find_opt
+
+let of_list bindings =
+  let t = create () in
+  List.iter (fun (name, rel) -> add t name rel) bindings;
+  t
+
+let tables t = Hashtbl.fold (fun name _ acc -> name :: acc) t [] |> List.sort String.compare

@@ -1,0 +1,22 @@
+(** A named collection of relations (the database instance). *)
+
+type t
+
+exception Unknown_table of string
+
+val create : unit -> t
+
+val add : t -> string -> Relation.t -> unit
+(** Registers the relation under [name]; its attributes are requalified
+    to [name] so that unaliased references resolve naturally.  Replaces
+    any previous binding. *)
+
+val find : t -> string -> Relation.t
+(** @raise Unknown_table when absent. *)
+
+val find_opt : t -> string -> Relation.t option
+
+val of_list : (string * Relation.t) list -> t
+
+val tables : t -> string list
+(** Sorted table names. *)

@@ -1,0 +1,46 @@
+module Key = struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+
+  let hash = Tuple.hash
+end
+
+module H = Hashtbl.Make (Key)
+
+type t = { cols : int array; table : int Vec.t H.t }
+
+let key_cols cols (row : Tuple.t) =
+  let n = Array.length cols in
+  let rec has_null i = i < n && (Value.is_null row.(cols.(i)) || has_null (i + 1)) in
+  if has_null 0 then None else Some (Array.map (fun c -> row.(c)) cols)
+
+let build_rows rows cols =
+  let table = H.create (max 16 (Array.length rows)) in
+  Array.iteri
+    (fun i row ->
+      match key_cols cols row with
+      | None -> ()
+      | Some key -> (
+        match H.find_opt table key with
+        | Some v -> Vec.push v i
+        | None ->
+          let v = Vec.create ~capacity:2 ~dummy:0 () in
+          Vec.push v i;
+          H.add table key v))
+    rows;
+  { cols; table }
+
+let build rel cols = build_rows (Relation.rows rel) cols
+
+let probe t key =
+  if Array.exists Value.is_null key then []
+  else match H.find_opt t.table key with Some v -> Vec.to_list v | None -> []
+
+let probe_iter t key f =
+  if not (Array.exists Value.is_null key) then
+    match H.find_opt t.table key with Some v -> Vec.iter f v | None -> ()
+
+let key_of t row = key_cols t.cols row
+
+let cardinality t = H.length t.table

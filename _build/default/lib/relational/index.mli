@@ -1,0 +1,27 @@
+(** Hash indexes on column subsets.
+
+    Keys are projected value tuples compared with grouping equality,
+    {e except} that rows with a NULL in any key column are excluded:
+    an SQL equi-condition can never evaluate to true on a NULL key, so
+    such rows cannot match through the index.  [probe] with a NULL in
+    the key likewise returns nothing. *)
+
+type t
+
+val build : Relation.t -> int array -> t
+(** [build rel cols] indexes [rel] on the column positions [cols]. *)
+
+val build_rows : Tuple.t array -> int array -> t
+(** Index a bare row array. *)
+
+val probe : t -> Tuple.t -> int list
+(** [probe idx key] returns the row positions whose key equals [key]
+    (a tuple of exactly the key columns), in insertion order. *)
+
+val probe_iter : t -> Tuple.t -> (int -> unit) -> unit
+
+val key_of : t -> Tuple.t -> Tuple.t option
+(** Extract the key columns of a full row; [None] if any is NULL. *)
+
+val cardinality : t -> int
+(** Number of distinct keys. *)

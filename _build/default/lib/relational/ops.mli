@@ -1,0 +1,76 @@
+(** The relational operator suite.
+
+    Every operator is a total function from relations to a relation.
+    Join-like operators take a [strategy]: [`Hash] extracts equi-join
+    pairs from the condition and probes a hash index (the "indexed"
+    plans of the paper's experiments); [`Sort_merge] sorts the right
+    side on the equi-keys and binary-searches per left row (the
+    sort-merge plans the paper's DBMS fell back to); [`Nested_loop]
+    compares every pair (the "no useful index" situation).  All produce
+    identical results. *)
+
+type join_strategy = [ `Hash | `Nested_loop | `Sort_merge ]
+
+val select : Expr.t -> Relation.t -> Relation.t
+(** Keep the rows on which the predicate is [true] (3VL truncation). *)
+
+val project : (Expr.t * string) list -> Relation.t -> Relation.t
+(** Computed projection; output attributes are unqualified. *)
+
+val project_cols :
+  ?distinct:bool -> (string option * string) list -> Relation.t -> Relation.t
+(** Column projection preserving attribute metadata.  [distinct] removes
+    duplicates (NULLs compare equal, as in SQL DISTINCT). *)
+
+val distinct : Relation.t -> Relation.t
+
+val add_rownum : string -> Relation.t -> Relation.t
+(** Append an unqualified int column holding the 0-based row position —
+    the surrogate key used by outer-join unnesting. *)
+
+val product : Relation.t -> Relation.t -> Relation.t
+
+val join : ?strategy:join_strategy -> Expr.t -> Relation.t -> Relation.t -> Relation.t
+
+val left_outer_join :
+  ?strategy:join_strategy -> Expr.t -> Relation.t -> Relation.t -> Relation.t
+(** Unmatched left rows are padded with NULLs on the right. *)
+
+val semi_join : ?strategy:join_strategy -> Expr.t -> Relation.t -> Relation.t -> Relation.t
+(** Left rows with at least one match; right columns are not emitted. *)
+
+val anti_join : ?strategy:join_strategy -> Expr.t -> Relation.t -> Relation.t -> Relation.t
+(** Left rows with no match. *)
+
+val group_by :
+  keys:(string option * string) list ->
+  aggs:Aggregate.spec list ->
+  Relation.t ->
+  Relation.t
+(** SQL GROUP BY: keys group with NULLs equal; output schema is the key
+    attributes followed by one unqualified column per aggregate.
+    An empty input yields an empty output. *)
+
+val aggregate_all : Aggregate.spec list -> Relation.t -> Relation.t
+(** Aggregation without grouping: always exactly one output row, even on
+    empty input (COUNT yields 0, SUM/MIN/MAX/AVG yield NULL). *)
+
+val union_all : Relation.t -> Relation.t -> Relation.t
+(** @raise Invalid_argument if the schemas differ positionally. *)
+
+val union : Relation.t -> Relation.t -> Relation.t
+
+val diff_all : Relation.t -> Relation.t -> Relation.t
+(** Multiset difference (monus): each right occurrence cancels one left
+    occurrence. *)
+
+val diff : Relation.t -> Relation.t -> Relation.t
+(** Set difference over distinct rows. *)
+
+val intersect : Relation.t -> Relation.t -> Relation.t
+(** Set intersection over distinct rows. *)
+
+val sort :
+  by:((string option * string) * [ `Asc | `Desc ]) list -> Relation.t -> Relation.t
+
+val limit : int -> Relation.t -> Relation.t

@@ -1,0 +1,86 @@
+type attr = { rel : string; name : string; ty : Value.ty }
+
+type t = attr array
+
+exception Unknown_attribute of string
+
+exception Ambiguous_attribute of string
+
+let attr ?(rel = "") name ty = { rel; name; ty }
+
+let qualified_name a = if a.rel = "" then a.name else a.rel ^ "." ^ a.name
+
+let of_list attrs =
+  let s = Array.of_list attrs in
+  Array.iteri
+    (fun i a ->
+      for j = i + 1 to Array.length s - 1 do
+        if s.(j).rel = a.rel && s.(j).name = a.name then
+          invalid_arg ("Schema.of_list: duplicate attribute " ^ qualified_name a)
+      done)
+    s;
+  s
+
+let to_list = Array.to_list
+
+let arity = Array.length
+
+let attr_at (s : t) i = s.(i)
+
+let find_opt (s : t) ?rel name =
+  let matches a =
+    a.name = name && match rel with None -> true | Some r -> a.rel = r
+  in
+  let found = ref None in
+  Array.iteri
+    (fun i a ->
+      if matches a then
+        match !found with
+        | None -> found := Some i
+        | Some _ -> raise (Ambiguous_attribute name))
+    s;
+  !found
+
+let find s ?rel name =
+  match find_opt s ?rel name with
+  | Some i -> i
+  | None ->
+    let shown = match rel with None -> name | Some r -> r ^ "." ^ name in
+    raise (Unknown_attribute shown)
+
+let mem s ?rel name = find_opt s ?rel name <> None
+
+let concat (a : t) (b : t) = Array.append a b
+
+let rename_rel rel (s : t) = Array.map (fun a -> { a with rel }) s
+
+let project (s : t) idxs = Array.map (fun i -> s.(i)) idxs
+
+let rels (s : t) =
+  Array.fold_left (fun acc a -> if List.mem a.rel acc then acc else a.rel :: acc) [] s
+  |> List.rev
+
+let fresh_name (s : t) base =
+  let clashes name = Array.exists (fun a -> a.name = name) s in
+  if not (clashes base) then base
+  else
+    let rec loop i =
+      let candidate = Printf.sprintf "%s_%d" base i in
+      if clashes candidate then loop (i + 1) else candidate
+    in
+    loop 2
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> x.rel = y.rel && x.name = y.name && Value.equal_ty x.ty y.ty) a b
+
+let equal_names (a : t) (b : t) =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> x.name = y.name && Value.equal_ty x.ty y.ty) a b
+
+let pp ppf (s : t) =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf a -> Format.fprintf ppf "%s:%a" (qualified_name a) Value.pp_ty a.ty))
+    (to_list s)

@@ -1,0 +1,62 @@
+(** Relation schemas: ordered lists of qualified, typed attributes.
+
+    Attributes carry a relation qualifier ([rel]), which is the alias of
+    the relation occurrence they stem from.  Lookups may be qualified
+    ([H.StartInterval]) or bare ([StartInterval]); a bare lookup that
+    matches several attributes is ambiguous and raises. *)
+
+type attr = { rel : string; name : string; ty : Value.ty }
+
+type t = attr array
+
+exception Unknown_attribute of string
+
+exception Ambiguous_attribute of string
+
+val attr : ?rel:string -> string -> Value.ty -> attr
+(** [attr ?rel name ty]; [rel] defaults to [""] (unqualified). *)
+
+val of_list : attr list -> t
+(** @raise Invalid_argument if two attributes share qualifier and name. *)
+
+val to_list : t -> attr list
+
+val arity : t -> int
+
+val attr_at : t -> int -> attr
+
+val qualified_name : attr -> string
+(** ["rel.name"] or just ["name"] when unqualified. *)
+
+val find : t -> ?rel:string -> string -> int
+(** Position of the attribute.
+    @raise Unknown_attribute when absent.
+    @raise Ambiguous_attribute when a bare name matches several. *)
+
+val find_opt : t -> ?rel:string -> string -> int option
+(** [None] when absent; still raises {!Ambiguous_attribute}. *)
+
+val mem : t -> ?rel:string -> string -> bool
+
+val concat : t -> t -> t
+(** Positional concatenation.  Duplicate qualified names are allowed here
+    (they arise transiently); lookups on the duplicate become ambiguous. *)
+
+val rename_rel : string -> t -> t
+(** Set the qualifier of every attribute (aliasing a relation). *)
+
+val project : t -> int array -> t
+
+val rels : t -> string list
+(** Distinct qualifiers, in first-appearance order. *)
+
+val fresh_name : t -> string -> string
+(** [fresh_name s base] is [base], or [base_2], [base_3], ... — the first
+    candidate whose bare name does not clash with any attribute of [s]. *)
+
+val equal : t -> t -> bool
+
+val equal_names : t -> t -> bool
+(** Positional equality of bare names and types, ignoring qualifiers. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+let check_cell s =
+  if String.exists (fun c -> c = ',' || c = '\n' || c = '\r') s then
+    invalid_arg ("Table_io: cell contains separator: " ^ s)
+
+let to_csv_channel oc rel =
+  let schema = Relation.schema rel in
+  let header =
+    List.map Schema.qualified_name (Schema.to_list schema) |> String.concat ","
+  in
+  output_string oc header;
+  output_char oc '\n';
+  Relation.iter
+    (fun row ->
+      let cells = Array.to_list (Array.map Value.to_csv_string row) in
+      List.iter check_cell cells;
+      output_string oc (String.concat "," cells);
+      output_char oc '\n')
+    rel
+
+let to_csv_file path rel =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_csv_channel oc rel)
+
+let split_line line = String.split_on_char ',' line
+
+let of_csv_channel schema ic =
+  let arity = Schema.arity schema in
+  let parse_row line =
+    let cells = split_line line in
+    if List.length cells <> arity then
+      invalid_arg
+        (Printf.sprintf "Table_io: row has %d cells, schema has %d" (List.length cells) arity);
+    let row =
+      List.mapi
+        (fun i cell -> Value.of_csv_string (Schema.attr_at schema i).Schema.ty cell)
+        cells
+    in
+    Array.of_list row
+  in
+  let rows = Vec.create ~dummy:([||] : Tuple.t) () in
+  (match In_channel.input_line ic with
+  | None -> invalid_arg "Table_io: missing header line"
+  | Some header ->
+    if List.length (split_line header) <> arity then
+      invalid_arg "Table_io: header arity does not match schema");
+  let rec loop () =
+    match In_channel.input_line ic with
+    | None -> ()
+    | Some "" -> loop ()
+    | Some line ->
+      Vec.push rows (parse_row line);
+      loop ()
+  in
+  loop ();
+  Relation.create ~check:false schema (Vec.to_array rows)
+
+let of_csv_file schema path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_csv_channel schema ic)

@@ -1,0 +1,15 @@
+(** CSV import/export for relations.
+
+    A deliberately simple dialect: comma separator, no quoting (cells
+    containing commas or newlines are rejected on export), first line is
+    the header of qualified attribute names, empty cells are NULL. *)
+
+val to_csv_channel : out_channel -> Relation.t -> unit
+
+val to_csv_file : string -> Relation.t -> unit
+
+val of_csv_channel : Schema.t -> in_channel -> Relation.t
+(** Reads rows against the given schema; the header line is checked for
+    arity only.  @raise Value.Type_error on a malformed cell. *)
+
+val of_csv_file : Schema.t -> string -> Relation.t

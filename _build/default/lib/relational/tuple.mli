@@ -1,0 +1,19 @@
+(** Tuples: positional arrays of values, interpreted through a schema. *)
+
+type t = Value.t array
+
+val empty : t
+
+val concat : t -> t -> t
+
+val project : t -> int array -> t
+
+val equal : t -> t -> bool
+(** Grouping equality (NULLs compare equal), positionwise. *)
+
+val compare : t -> t -> int
+(** Lexicographic extension of {!Value.compare}. *)
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,81 @@
+(** SQL values and their three-valued comparison semantics.
+
+    Values are dynamically typed at the cell level; the [ty] type is the
+    static column type recorded in schemas.  [Null] inhabits every column
+    type.  Integers and floats are mutually comparable (numeric
+    promotion); all other cross-type comparisons raise {!Type_error}. *)
+
+type ty = Tint | Tfloat | Tstring | Tbool
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+exception Type_error of string
+
+val type_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [type_error fmt ...] raises {!Type_error} with a formatted message. *)
+
+val ty_of : t -> ty option
+(** [None] for [Null]. *)
+
+val ty_to_string : ty -> string
+
+val pp_ty : Format.formatter -> ty -> unit
+
+val equal_ty : ty -> ty -> bool
+
+val conforms : t -> ty -> bool
+(** Does the value inhabit the column type?  [Null] conforms to all. *)
+
+val is_null : t -> bool
+
+(** {1 Grouping semantics}
+
+    Structural equality/ordering/hash in which [Null = Null]; used for
+    GROUP BY keys, DISTINCT, set operations and index keys — mirroring
+    SQL's "nulls group together" rule.  Distinct from the 3VL comparison
+    below. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order: [Null] sorts first; numeric values compare numerically
+    across [Int]/[Float]. *)
+
+val hash : t -> int
+
+(** {1 SQL comparison semantics (3VL)} *)
+
+val cmp3 : t -> t -> int option
+(** [cmp3 a b] is [None] when either side is [Null] (comparison is
+    unknown), otherwise [Some c] with [c] negative/zero/positive.
+    @raise Type_error on incomparable types. *)
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** Division by zero yields [Null] (documented engine-wide choice that
+    keeps randomly generated queries total). *)
+
+val modulo : t -> t -> t
+val neg : t -> t
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val to_csv_string : t -> string
+
+val of_csv_string : ty -> string -> t
+(** Parse a CSV cell given the column type; the empty string is [Null].
+    @raise Type_error on malformed input. *)

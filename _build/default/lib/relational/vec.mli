@@ -1,0 +1,43 @@
+(** Growable arrays.
+
+    A small dynamic-array implementation used throughout the engine to
+    accumulate tuples without intermediate lists.  A [dummy] element is
+    required at creation time to fill unused capacity (OCaml arrays cannot
+    be resized in place and have no uninitialised cells). *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] is an empty vector.  [capacity] pre-allocates. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument if the index is out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument if the index is out of bounds. *)
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val to_array : 'a t -> 'a array
+(** A fresh array holding exactly the pushed elements. *)
+
+val to_list : 'a t -> 'a list
+
+val of_array : dummy:'a -> 'a array -> 'a t
+
+val append : 'a t -> 'a t -> unit
+(** [append dst src] pushes every element of [src] onto [dst]. *)

@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Aggregate Array Expr Format Lexer List Ops Option Printf Relation Schema String Subql_nested Subql_relational

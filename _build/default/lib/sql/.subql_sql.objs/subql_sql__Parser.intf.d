@@ -1,0 +1,1 @@
+lib/sql/parser.mli: Subql_nested Subql_relational

@@ -1,0 +1,1 @@
+lib/sql/render.ml: Aggregate Expr Format List Printf String Subql_nested Subql_relational Value

@@ -1,0 +1,1 @@
+lib/sql/render.mli: Subql_nested Subql_relational

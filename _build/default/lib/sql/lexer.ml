@@ -1,0 +1,215 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Select
+  | Distinct
+  | From
+  | Where
+  | As
+  | And
+  | Or
+  | Not
+  | Exists
+  | In
+  | Any
+  | Some_kw
+  | All
+  | Is
+  | Null
+  | True
+  | False
+  | Count
+  | Sum
+  | Min
+  | Max
+  | Avg
+  | Between
+  | Group
+  | Having
+  | Order
+  | By
+  | Limit
+  | Asc
+  | Desc
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Plus
+  | Minus
+  | Slash
+  | Percent
+  | Eof
+
+exception Lex_error of string * int
+
+let keywords =
+  [
+    ("select", Select);
+    ("distinct", Distinct);
+    ("from", From);
+    ("where", Where);
+    ("as", As);
+    ("and", And);
+    ("or", Or);
+    ("not", Not);
+    ("exists", Exists);
+    ("in", In);
+    ("any", Any);
+    ("some", Some_kw);
+    ("all", All);
+    ("is", Is);
+    ("null", Null);
+    ("true", True);
+    ("false", False);
+    ("count", Count);
+    ("sum", Sum);
+    ("min", Min);
+    ("max", Max);
+    ("avg", Avg);
+    ("between", Between);
+    ("group", Group);
+    ("having", Having);
+    ("order", Order);
+    ("by", By);
+    ("limit", Limit);
+    ("asc", Asc);
+    ("desc", Desc);
+  ]
+
+let token_to_string = function
+  | Ident s -> Printf.sprintf "identifier %s" s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | String_lit s -> Printf.sprintf "'%s'" s
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Dot -> "."
+  | Star -> "*"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Eof -> "end of input"
+  | kw -> (
+    match List.find_opt (fun (_, t) -> t = kw) keywords with
+    | Some (name, _) -> String.uppercase_ascii name
+    | None -> "?")
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let out = ref [] in
+  let emit pos tok = out := (tok, pos) :: !out in
+  let rec skip_ws i =
+    if i < n && (input.[i] = ' ' || input.[i] = '\t' || input.[i] = '\n' || input.[i] = '\r')
+    then skip_ws (i + 1)
+    else i
+  in
+  let rec loop i =
+    let i = skip_ws i in
+    if i >= n then emit i Eof
+    else
+      let c = input.[i] in
+      if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char input.[!j] do
+          incr j
+        done;
+        let word = String.sub input i (!j - i) in
+        (match List.assoc_opt (String.lowercase_ascii word) keywords with
+        | Some kw -> emit i kw
+        | None -> emit i (Ident word));
+        loop !j
+      end
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit input.[!j] do
+          incr j
+        done;
+        if !j < n && input.[!j] = '.' && !j + 1 < n && is_digit input.[!j + 1] then begin
+          incr j;
+          while !j < n && is_digit input.[!j] do
+            incr j
+          done;
+          let text = String.sub input i (!j - i) in
+          emit i (Float_lit (float_of_string text))
+        end
+        else emit i (Int_lit (int_of_string (String.sub input i (!j - i))));
+        loop !j
+      end
+      else if c = '\'' then begin
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then raise (Lex_error ("unterminated string literal", i))
+          else if input.[j] = '\'' then
+            if j + 1 < n && input.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              scan (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf input.[j];
+            scan (j + 1)
+          end
+        in
+        let j = scan (i + 1) in
+        emit i (String_lit (Buffer.contents buf));
+        loop j
+      end
+      else begin
+        let two = if i + 1 < n then String.sub input i 2 else "" in
+        match two with
+        | "<>" | "!=" ->
+          emit i Neq;
+          loop (i + 2)
+        | "<=" ->
+          emit i Le;
+          loop (i + 2)
+        | ">=" ->
+          emit i Ge;
+          loop (i + 2)
+        | _ -> (
+          let simple tok =
+            emit i tok;
+            loop (i + 1)
+          in
+          match c with
+          | '(' -> simple Lparen
+          | ')' -> simple Rparen
+          | ',' -> simple Comma
+          | '.' -> simple Dot
+          | '*' -> simple Star
+          | '=' -> simple Eq
+          | '<' -> simple Lt
+          | '>' -> simple Gt
+          | '+' -> simple Plus
+          | '-' -> simple Minus
+          | '/' -> simple Slash
+          | '%' -> simple Percent
+          | _ -> raise (Lex_error (Printf.sprintf "unexpected character %c" c, i)))
+      end
+  in
+  loop 0;
+  List.rev !out

@@ -1,0 +1,66 @@
+(** Tokenizer for the SQL subset.
+
+    Keywords are case-insensitive; identifiers keep their case.  String
+    literals use single quotes with [''] as the escaped quote. *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  (* keywords *)
+  | Select
+  | Distinct
+  | From
+  | Where
+  | As
+  | And
+  | Or
+  | Not
+  | Exists
+  | In
+  | Any
+  | Some_kw
+  | All
+  | Is
+  | Null
+  | True
+  | False
+  | Count
+  | Sum
+  | Min
+  | Max
+  | Avg
+  | Between
+  | Group
+  | Having
+  | Order
+  | By
+  | Limit
+  | Asc
+  | Desc
+  (* symbols *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Plus
+  | Minus
+  | Slash
+  | Percent
+  | Eof
+
+exception Lex_error of string * int
+(** Message and character offset. *)
+
+val token_to_string : token -> string
+
+val tokenize : string -> (token * int) list
+(** Tokens with their starting offsets; always ends with [Eof]. *)

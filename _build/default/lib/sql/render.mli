@@ -1,0 +1,18 @@
+(** Rendering nested queries back to the SQL subset.
+
+    [query_to_sql] produces text that {!Parser.parse} accepts and that
+    evaluates to the same result — the round-trip is property-tested
+    against randomly generated queries.  Only shapes expressible in the
+    dialect are supported: bases must be tables, aliased tables, or
+    products of those (selections/projections inside a base have no FROM
+    syntax here). *)
+
+exception Unrepresentable of string
+
+val expr_to_sql : Subql_relational.Expr.t -> string
+(** @raise Unrepresentable on internal-only forms ([IS TRUE],
+    null-safe equality). *)
+
+val pred_to_sql : Subql_nested.Nested_ast.pred -> string
+
+val query_to_sql : Subql_nested.Nested_ast.query -> string

@@ -1,0 +1,1 @@
+lib/storage/codec.ml: Array Buffer Bytes Char Int64 Printf String Subql_relational Tuple Value

@@ -1,0 +1,1 @@
+lib/storage/heap_file.ml: Array Buffer Buffer_pool Bytes Codec Int32 Int64 Relation Schema Subql_relational Tuple Unix Vec

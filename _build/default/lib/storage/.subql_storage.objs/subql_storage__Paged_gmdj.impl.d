@@ -1,0 +1,1 @@
+lib/storage/paged_gmdj.ml: Gmdj Heap_file List Relation Subql_gmdj Subql_relational

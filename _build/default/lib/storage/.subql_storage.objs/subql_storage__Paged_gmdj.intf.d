@@ -1,0 +1,1 @@
+lib/storage/paged_gmdj.mli: Buffer_pool Gmdj Heap_file Relation Subql_gmdj Subql_relational

@@ -1,0 +1,65 @@
+type frame = { bytes : bytes; mutable last_used : int }
+
+type stats = {
+  mutable page_reads : int;
+  mutable hits : int;
+  mutable evictions : int;
+}
+
+type t = {
+  capacity : int;
+  table : (string * int, frame) Hashtbl.t;
+  mutable clock : int;
+  stats : stats;
+}
+
+let create ~frames =
+  if frames <= 0 then invalid_arg "Buffer_pool.create: frames must be positive";
+  {
+    capacity = frames;
+    table = Hashtbl.create (2 * frames);
+    clock = 0;
+    stats = { page_reads = 0; hits = 0; evictions = 0 };
+  }
+
+let frames t = t.capacity
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.page_reads <- 0;
+  t.stats.hits <- 0;
+  t.stats.evictions <- 0
+
+let resident t = Hashtbl.length t.table
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key frame ->
+      match !victim with
+      | Some (_, f) when f.last_used <= frame.last_used -> ()
+      | _ -> victim := Some (key, frame))
+    t.table;
+  match !victim with
+  | Some (key, _) ->
+    Hashtbl.remove t.table key;
+    t.stats.evictions <- t.stats.evictions + 1
+  | None -> ()
+
+let fetch t ~key ~load =
+  match Hashtbl.find_opt t.table key with
+  | Some frame ->
+    frame.last_used <- tick t;
+    t.stats.hits <- t.stats.hits + 1;
+    frame.bytes
+  | None ->
+    if Hashtbl.length t.table >= t.capacity then evict_lru t;
+    let bytes = load () in
+    t.stats.page_reads <- t.stats.page_reads + 1;
+    Hashtbl.replace t.table key { bytes; last_used = tick t };
+    bytes

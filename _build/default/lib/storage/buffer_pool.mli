@@ -1,0 +1,35 @@
+(** A fixed-capacity page buffer pool with LRU replacement.
+
+    The pool caches pages from any number of files, keyed by
+    [(file_path, page_no)].  Misses call the supplied loader; when the
+    pool is full the least-recently-used page is evicted.  All pages are
+    read-only here (the heap files are write-once), so eviction never
+    writes back.
+
+    The stats make the paper's I/O argument observable: a coalesced GMDJ
+    reads each detail page once; chained GMDJs read the file once per
+    operator; a pool smaller than the file degrades gracefully
+    (sequential scans miss every page rather than thrash). *)
+
+type t
+
+type stats = {
+  mutable page_reads : int;  (** loader invocations (misses) *)
+  mutable hits : int;
+  mutable evictions : int;
+}
+
+val create : frames:int -> t
+(** @raise Invalid_argument if [frames <= 0]. *)
+
+val frames : t -> int
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+
+val fetch : t -> key:string * int -> load:(unit -> bytes) -> bytes
+(** The page under [key], loading and caching it on a miss. *)
+
+val resident : t -> int
+(** Pages currently cached. *)

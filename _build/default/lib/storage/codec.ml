@@ -1,0 +1,70 @@
+open Subql_relational
+
+let tag_null = '\000'
+
+let tag_int = '\001'
+
+let tag_float = '\002'
+
+let tag_str = '\003'
+
+let tag_true = '\004'
+
+let tag_false = '\005'
+
+let encode_value buf = function
+  | Value.Null -> Buffer.add_char buf tag_null
+  | Value.Int i ->
+    Buffer.add_char buf tag_int;
+    Buffer.add_int64_le buf (Int64.of_int i)
+  | Value.Float f ->
+    Buffer.add_char buf tag_float;
+    Buffer.add_int64_le buf (Int64.bits_of_float f)
+  | Value.Str s ->
+    if String.length s > 0xFFFF then invalid_arg "Codec: string longer than 65535 bytes";
+    Buffer.add_char buf tag_str;
+    Buffer.add_uint16_le buf (String.length s);
+    Buffer.add_string buf s
+  | Value.Bool true -> Buffer.add_char buf tag_true
+  | Value.Bool false -> Buffer.add_char buf tag_false
+
+let decode_value bytes ~pos =
+  let p = !pos in
+  let tag = Bytes.get bytes p in
+  if tag = tag_null then begin
+    pos := p + 1;
+    Value.Null
+  end
+  else if tag = tag_int then begin
+    pos := p + 9;
+    Value.Int (Int64.to_int (Bytes.get_int64_le bytes (p + 1)))
+  end
+  else if tag = tag_float then begin
+    pos := p + 9;
+    Value.Float (Int64.float_of_bits (Bytes.get_int64_le bytes (p + 1)))
+  end
+  else if tag = tag_str then begin
+    let len = Bytes.get_uint16_le bytes (p + 1) in
+    pos := p + 3 + len;
+    Value.Str (Bytes.sub_string bytes (p + 3) len)
+  end
+  else if tag = tag_true then begin
+    pos := p + 1;
+    Value.Bool true
+  end
+  else if tag = tag_false then begin
+    pos := p + 1;
+    Value.Bool false
+  end
+  else invalid_arg (Printf.sprintf "Codec: corrupt value tag %d at offset %d" (Char.code tag) p)
+
+let encode_tuple buf (t : Tuple.t) = Array.iter (encode_value buf) t
+
+let decode_tuple bytes ~pos ~arity = Array.init arity (fun _ -> decode_value bytes ~pos)
+
+let value_bytes = function
+  | Value.Null | Value.Bool _ -> 1
+  | Value.Int _ | Value.Float _ -> 9
+  | Value.Str s -> 3 + String.length s
+
+let tuple_bytes (t : Tuple.t) = Array.fold_left (fun acc v -> acc + value_bytes v) 0 t

@@ -1,0 +1,20 @@
+(** Binary tuple serialization for the paged storage layer.
+
+    Values encode as a tag byte plus payload (ints and floats as 8-byte
+    little-endian, strings length-prefixed); a tuple is its values in
+    sequence — the schema supplies the arity, so no per-tuple framing is
+    needed beyond the page's tuple count. *)
+
+open Subql_relational
+
+val encode_value : Buffer.t -> Value.t -> unit
+
+val decode_value : bytes -> pos:int ref -> Value.t
+(** @raise Invalid_argument on a corrupt tag. *)
+
+val encode_tuple : Buffer.t -> Tuple.t -> unit
+
+val decode_tuple : bytes -> pos:int ref -> arity:int -> Tuple.t
+
+val tuple_bytes : Tuple.t -> int
+(** Encoded size, for page packing. *)

@@ -1,0 +1,128 @@
+open Subql_relational
+
+let magic = "SUBQLHF1"
+
+let header_bytes = 8 + 4 + 2 + 8 (* magic, page_size, arity, row_count *)
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  schema : Schema.t;
+  page_size : int;
+  pages : int;
+  row_count : int;
+}
+
+let really_read fd buf =
+  let n = Bytes.length buf in
+  let rec loop off =
+    if off < n then begin
+      let k = Unix.read fd buf off (n - off) in
+      if k = 0 then invalid_arg "Heap_file: unexpected end of file";
+      loop (off + k)
+    end
+  in
+  loop 0
+
+let really_write fd buf =
+  let n = Bytes.length buf in
+  let rec loop off =
+    if off < n then loop (off + Unix.write fd buf off (n - off))
+  in
+  loop 0
+
+let write ~path ?(page_size = 8192) rel =
+  if page_size < 64 then invalid_arg "Heap_file.write: page size too small";
+  let payload = page_size - 2 in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  (* Header page. *)
+  let header = Bytes.make page_size '\000' in
+  Bytes.blit_string magic 0 header 0 8;
+  Bytes.set_int32_le header 8 (Int32.of_int page_size);
+  Bytes.set_uint16_le header 12 (Schema.arity (Relation.schema rel));
+  Bytes.set_int64_le header 14 (Int64.of_int (Relation.cardinality rel));
+  really_write fd header;
+  (* Data pages: greedy packing. *)
+  let buf = Buffer.create page_size in
+  let count = ref 0 in
+  let pages = ref 0 in
+  let flush_page () =
+    if !count > 0 then begin
+      let page = Bytes.make page_size '\000' in
+      Bytes.set_uint16_le page 0 !count;
+      Bytes.blit_string (Buffer.contents buf) 0 page 2 (Buffer.length buf);
+      really_write fd page;
+      Buffer.clear buf;
+      count := 0;
+      incr pages
+    end
+  in
+  Relation.iter
+    (fun row ->
+      let size = Codec.tuple_bytes row in
+      if size > payload then
+        invalid_arg "Heap_file.write: tuple exceeds the page payload";
+      if Buffer.length buf + size > payload then flush_page ();
+      Codec.encode_tuple buf row;
+      incr count)
+    rel;
+  flush_page ();
+  {
+    path;
+    fd;
+    schema = Relation.schema rel;
+    page_size;
+    pages = !pages;
+    row_count = Relation.cardinality rel;
+  }
+
+let openfile ~path ~schema =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let header = Bytes.create header_bytes in
+  really_read fd header;
+  if Bytes.sub_string header 0 8 <> magic then
+    invalid_arg "Heap_file.openfile: bad magic";
+  let page_size = Int32.to_int (Bytes.get_int32_le header 8) in
+  let arity = Bytes.get_uint16_le header 12 in
+  let row_count = Int64.to_int (Bytes.get_int64_le header 14) in
+  if arity <> Schema.arity schema then
+    invalid_arg "Heap_file.openfile: stored arity does not match the schema";
+  let file_bytes = (Unix.fstat fd).Unix.st_size in
+  let pages = (file_bytes / page_size) - 1 in
+  { path; fd; schema; page_size; pages; row_count }
+
+let close t = Unix.close t.fd
+
+let path t = t.path
+
+let schema t = t.schema
+
+let pages t = t.pages
+
+let row_count t = t.row_count
+
+let read_page t page_no =
+  let buf = Bytes.create t.page_size in
+  ignore (Unix.lseek t.fd ((page_no + 1) * t.page_size) Unix.SEEK_SET);
+  really_read t.fd buf;
+  buf
+
+let scan_pages t ~pool f =
+  for page_no = 0 to t.pages - 1 do
+    let page =
+      Buffer_pool.fetch pool ~key:(t.path, page_no) ~load:(fun () -> read_page t page_no)
+    in
+    let n = Bytes.get_uint16_le page 0 in
+    let pos = ref 2 in
+    let rows =
+      Array.init n (fun _ -> Codec.decode_tuple page ~pos ~arity:(Schema.arity t.schema))
+    in
+    f rows
+  done
+
+let scan t ~pool f = scan_pages t ~pool (fun rows -> Array.iter f rows)
+
+let to_relation t ~pool =
+  let out = Vec.create ~capacity:(max 1 t.row_count) ~dummy:Tuple.empty () in
+  scan t ~pool (Vec.push out);
+  Relation.create ~check:false t.schema (Vec.to_array out)

@@ -1,0 +1,39 @@
+(** Write-once heap files: a relation stored as fixed-size pages.
+
+    Layout: a one-page header (magic, page size, arity, tuple count)
+    followed by data pages, each holding a 16-bit tuple count and the
+    tuples in {!Codec} encoding.  Reads go through a {!Buffer_pool}, so
+    scans account page I/O exactly. *)
+
+open Subql_relational
+
+type t
+
+val write : path:string -> ?page_size:int -> Relation.t -> t
+(** Serialize the relation to [path] (page size defaults to 8192 bytes)
+    and return an open handle.
+    @raise Invalid_argument if a single tuple exceeds the page payload. *)
+
+val openfile : path:string -> schema:Schema.t -> t
+(** Open an existing heap file.  The stored arity must match [schema]
+    (column names/types are the caller's contract, as with CSV).
+    @raise Invalid_argument on a bad magic or arity mismatch. *)
+
+val close : t -> unit
+
+val path : t -> string
+
+val schema : t -> Schema.t
+
+val pages : t -> int
+(** Data pages (header excluded). *)
+
+val row_count : t -> int
+
+val scan : t -> pool:Buffer_pool.t -> (Tuple.t -> unit) -> unit
+(** Visit every tuple in storage order, fetching pages through the pool. *)
+
+val scan_pages : t -> pool:Buffer_pool.t -> (Tuple.t array -> unit) -> unit
+(** Page-at-a-time variant. *)
+
+val to_relation : t -> pool:Buffer_pool.t -> Relation.t

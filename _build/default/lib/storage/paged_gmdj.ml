@@ -1,0 +1,12 @@
+open Subql_relational
+open Subql_gmdj
+
+let eval ~pool ~base ~detail blocks =
+  let schema = Heap_file.schema detail in
+  let view = Gmdj.Maintain.create ~base ~detail:(Relation.empty schema) blocks in
+  Heap_file.scan_pages detail ~pool (fun rows ->
+      Gmdj.Maintain.insert_detail view (Relation.create ~check:false schema rows));
+  Gmdj.Maintain.result view
+
+let eval_chained ~pool ~base ~detail chain =
+  List.fold_left (fun acc blocks -> eval ~pool ~base:acc ~detail blocks) base chain

@@ -1,0 +1,31 @@
+(** GMDJ evaluation over a disk-resident detail relation.
+
+    The detail heap file streams page by page through the buffer pool
+    into the live-accumulator machinery, so the pool statistics report
+    the exact page I/O a plan performs — making the paper's central cost
+    argument observable: a (coalesced) GMDJ touches every detail page
+    once, chained GMDJs once per operator, and the working set on the
+    base side is |B| accumulators regardless of the detail size. *)
+
+open Subql_relational
+open Subql_gmdj
+
+val eval :
+  pool:Buffer_pool.t ->
+  base:Relation.t ->
+  detail:Heap_file.t ->
+  Gmdj.block list ->
+  Relation.t
+(** Identical results to [Gmdj.eval] over the materialized detail. *)
+
+val eval_chained :
+  pool:Buffer_pool.t ->
+  base:Relation.t ->
+  detail:Heap_file.t ->
+  Gmdj.block list list ->
+  Relation.t
+(** Evaluate a chain of GMDJs over the same detail file — the shape the
+    translation produces before coalescing: the detail is scanned once
+    per element of the list, and each GMDJ's output becomes the next
+    one's base-values relation.  [eval_chained ~pool ~base ~detail \[b\]]
+    equals [eval ~pool ~base ~detail b]. *)

@@ -1,0 +1,1 @@
+lib/unnest/unnest.ml: Aggregate Catalog Expr Format Gmdj List Printf Relation Schema Subql Subql_gmdj Subql_nested Subql_relational

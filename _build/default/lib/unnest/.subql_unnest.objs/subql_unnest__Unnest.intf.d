@@ -1,0 +1,1 @@
+lib/unnest/unnest.mli: Catalog Schema Subql Subql_nested Subql_relational

@@ -1,0 +1,1 @@
+lib/workload/netflow.ml: Array Catalog Printf Relation Rng Schema Subql_relational Value

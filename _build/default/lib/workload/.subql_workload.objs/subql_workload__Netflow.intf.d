@@ -1,0 +1,1 @@
+lib/workload/netflow.mli: Catalog Schema Subql_relational

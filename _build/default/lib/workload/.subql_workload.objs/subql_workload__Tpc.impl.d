@@ -1,0 +1,1 @@
+lib/workload/tpc.ml: Array Catalog Relation Rng Schema Subql_relational Value

@@ -1,0 +1,1 @@
+lib/workload/tpc.mli: Catalog Schema Subql_relational

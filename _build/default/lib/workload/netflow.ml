@@ -1,0 +1,104 @@
+open Subql_relational
+
+type config = {
+  n_flows : int;
+  n_hours : int;
+  n_users : int;
+  n_source_ips : int;
+  n_dest_ips : int;
+  http_fraction : float;
+  user_ip_match_fraction : float;
+  seed : int64;
+}
+
+let default_config =
+  {
+    n_flows = 10_000;
+    n_hours = 24;
+    n_users = 100;
+    n_source_ips = 500;
+    n_dest_ips = 500;
+    http_fraction = 0.6;
+    user_ip_match_fraction = 0.8;
+    seed = 42L;
+  }
+
+let ip i = Printf.sprintf "10.%d.%d.%d" (i / 65536 mod 256) (i / 256 mod 256) (i mod 256)
+
+let flow_schema =
+  Schema.of_list
+    [
+      Schema.attr "SourceIP" Value.Tstring;
+      Schema.attr "DestIP" Value.Tstring;
+      Schema.attr "Protocol" Value.Tstring;
+      Schema.attr "StartTime" Value.Tint;
+      Schema.attr "EndTime" Value.Tint;
+      Schema.attr "NumBytes" Value.Tint;
+      Schema.attr "NumPkts" Value.Tint;
+    ]
+
+let hours_schema =
+  Schema.of_list
+    [
+      Schema.attr "HourDsc" Value.Tint;
+      Schema.attr "StartInterval" Value.Tint;
+      Schema.attr "EndInterval" Value.Tint;
+    ]
+
+let user_schema =
+  Schema.of_list
+    [
+      Schema.attr "UserName" Value.Tstring;
+      Schema.attr "IPAddress" Value.Tstring;
+      Schema.attr "Quota" Value.Tint;
+    ]
+
+let protocols = [| "FTP"; "DNS"; "SMTP"; "SSH" |]
+
+let generate config =
+  let rng = Rng.create ~seed:config.seed in
+  let horizon = config.n_hours * 3600 in
+  let hours =
+    Array.init config.n_hours (fun i ->
+        [| Value.Int (i + 1); Value.Int (i * 3600); Value.Int ((i + 1) * 3600) |])
+  in
+  let flows =
+    Array.init config.n_flows (fun _ ->
+        let src = Rng.int rng config.n_source_ips in
+        let dst = Rng.int rng config.n_dest_ips in
+        let protocol =
+          if Rng.bernoulli rng config.http_fraction then "HTTP" else Rng.choose rng protocols
+        in
+        let start = Rng.int rng horizon in
+        let duration = 1 + Rng.int rng 600 in
+        let pkts = 1 + Rng.int rng 1000 in
+        let bytes = pkts * (40 + Rng.int rng 1460) in
+        [|
+          Value.Str (ip src);
+          Value.Str (ip dst);
+          Value.Str protocol;
+          Value.Int start;
+          Value.Int (start + duration);
+          Value.Int bytes;
+          Value.Int pkts;
+        |])
+  in
+  let users =
+    Array.init config.n_users (fun i ->
+        let addr =
+          if Rng.bernoulli rng config.user_ip_match_fraction then
+            ip (Rng.int rng config.n_source_ips)
+          else ip (1_000_000 + i)
+        in
+        [|
+          Value.Str (Printf.sprintf "user%04d" i);
+          Value.Str addr;
+          Value.Int ((1 + Rng.int rng 100) * 1_000_000);
+        |])
+  in
+  Catalog.of_list
+    [
+      ("Flow", Relation.create ~check:false flow_schema flows);
+      ("Hours", Relation.create ~check:false hours_schema hours);
+      ("User", Relation.create ~check:false user_schema users);
+    ]

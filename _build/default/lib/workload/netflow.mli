@@ -1,0 +1,43 @@
+(** The paper's motivating IP-flow data warehouse (Section 2.3).
+
+    Generates three tables:
+
+    - [Flow (SourceIP, DestIP, Protocol, StartTime, EndTime, NumBytes,
+      NumPkts)] — one row per flow dumped by a router;
+    - [Hours (HourDsc, StartInterval, EndInterval)] — the time dimension
+      used to phrase complex OLAP queries;
+    - [User (UserName, IPAddress, Quota)] — the account dimension.
+
+    All knobs the paper's experiments vary are exposed: table sizes, key
+    cardinalities (how many distinct IPs), and protocol mix.  Generation
+    is deterministic in the seed. *)
+
+open Subql_relational
+
+type config = {
+  n_flows : int;
+  n_hours : int;
+  n_users : int;
+  n_source_ips : int;  (** distinct SourceIP values drawn by flows *)
+  n_dest_ips : int;
+  http_fraction : float;  (** share of flows with Protocol = "HTTP" *)
+  user_ip_match_fraction : float;
+      (** share of users whose IPAddress actually appears as a flow
+          source — controls subquery selectivity *)
+  seed : int64;
+}
+
+val default_config : config
+(** 10k flows, 24 hours, 100 users. *)
+
+val ip : int -> string
+(** The [i]-th synthetic IP address (stable across tables). *)
+
+val flow_schema : Schema.t
+
+val hours_schema : Schema.t
+
+val user_schema : Schema.t
+
+val generate : config -> Catalog.t
+(** Catalog with tables ["Flow"], ["Hours"], ["User"]. *)

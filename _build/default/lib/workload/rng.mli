@@ -1,0 +1,30 @@
+(** Deterministic SplitMix64 pseudo-random generator.
+
+    All workload generation is seeded so that every experiment is
+    exactly reproducible; the generator is independent of OCaml's
+    [Random] state. *)
+
+type t
+
+val create : seed:int64 -> t
+
+val next : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bernoulli : t -> float -> bool
+
+val choose : t -> 'a array -> 'a
+
+val shuffle : t -> 'a array -> unit
+
+val split : t -> t
+(** An independent generator derived from the current state. *)

@@ -1,0 +1,93 @@
+open Subql_relational
+
+type config = {
+  customers : int;
+  orders : int;
+  lineitems : int;
+  nations : int;
+  seed : int64;
+}
+
+let default_config =
+  { customers = 1_500; orders = 15_000; lineitems = 60_000; nations = 25; seed = 7L }
+
+let scaled sf =
+  let scale base = max 1 (int_of_float (float_of_int base *. sf)) in
+  {
+    customers = scale 150_000;
+    orders = scale 1_500_000;
+    lineitems = scale 6_000_000;
+    nations = 25;
+    seed = 7L;
+  }
+
+let customer_schema =
+  Schema.of_list
+    [
+      Schema.attr "c_custkey" Value.Tint;
+      Schema.attr "c_nationkey" Value.Tint;
+      Schema.attr "c_acctbal" Value.Tfloat;
+      Schema.attr "c_mktsegment" Value.Tstring;
+    ]
+
+let orders_schema =
+  Schema.of_list
+    [
+      Schema.attr "o_orderkey" Value.Tint;
+      Schema.attr "o_custkey" Value.Tint;
+      Schema.attr "o_totalprice" Value.Tfloat;
+      Schema.attr "o_orderdate" Value.Tint;
+      Schema.attr "o_orderpriority" Value.Tstring;
+    ]
+
+let lineitem_schema =
+  Schema.of_list
+    [
+      Schema.attr "l_orderkey" Value.Tint;
+      Schema.attr "l_partkey" Value.Tint;
+      Schema.attr "l_quantity" Value.Tint;
+      Schema.attr "l_extendedprice" Value.Tfloat;
+      Schema.attr "l_shipdate" Value.Tint;
+    ]
+
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+
+let generate config =
+  let rng = Rng.create ~seed:config.seed in
+  let customers =
+    Array.init config.customers (fun i ->
+        [|
+          Value.Int (i + 1);
+          Value.Int (Rng.int rng config.nations);
+          Value.Float (Rng.float rng *. 11_000.0 -. 1_000.0);
+          Value.Str (Rng.choose rng segments);
+        |])
+  in
+  let orders =
+    Array.init config.orders (fun i ->
+        [|
+          Value.Int (i + 1);
+          Value.Int (1 + Rng.int rng config.customers);
+          Value.Float (Rng.float rng *. 500_000.0);
+          Value.Int (Rng.int rng 2_557);
+          Value.Str (Rng.choose rng priorities);
+        |])
+  in
+  let lineitems =
+    Array.init config.lineitems (fun _ ->
+        [|
+          Value.Int (1 + Rng.int rng config.orders);
+          Value.Int (1 + Rng.int rng 200_000);
+          Value.Int (1 + Rng.int rng 50);
+          Value.Float (Rng.float rng *. 100_000.0);
+          Value.Int (Rng.int rng 2_557);
+        |])
+  in
+  Catalog.of_list
+    [
+      ("Customer", Relation.create ~check:false customer_schema customers);
+      ("Orders", Relation.create ~check:false orders_schema orders);
+      ("Lineitem", Relation.create ~check:false lineitem_schema lineitems);
+    ]

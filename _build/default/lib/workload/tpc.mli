@@ -1,0 +1,32 @@
+(** A TPC-R-flavoured database generator.
+
+    The paper derived its test databases from the TPC(R) dbgen program;
+    this module is the offline substitute: a customer / orders /
+    lineitem star with the same knobs the experiments vary (outer and
+    inner cardinalities, key skew).  Deterministic in the seed. *)
+
+open Subql_relational
+
+type config = {
+  customers : int;
+  orders : int;
+  lineitems : int;
+  nations : int;
+  seed : int64;
+}
+
+val default_config : config
+(** 1 500 customers, 15 000 orders, 60 000 lineitems, 25 nations —
+    roughly TPC scale 0.01. *)
+
+val scaled : float -> config
+(** [scaled sf] mimics dbgen's scale factor. *)
+
+val customer_schema : Schema.t
+
+val orders_schema : Schema.t
+
+val lineitem_schema : Schema.t
+
+val generate : config -> Catalog.t
+(** Catalog with tables ["Customer"], ["Orders"], ["Lineitem"]. *)

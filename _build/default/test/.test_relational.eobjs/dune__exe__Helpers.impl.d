@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array List QCheck2 QCheck_alcotest Relation Schema Subql_relational Value

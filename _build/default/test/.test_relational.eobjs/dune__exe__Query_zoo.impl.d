@@ -1,0 +1,1 @@
+test/query_zoo.ml: Aggregate Array Catalog Expr Helpers List Nested_ast QCheck2 Relation Schema Subql_nested Subql_relational Value

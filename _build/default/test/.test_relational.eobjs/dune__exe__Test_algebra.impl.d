@@ -1,0 +1,1 @@
+test/test_algebra.ml: Aggregate Alcotest Catalog Expr Format Gmdj List Query_zoo Relation Schema Str String Subql Subql_gmdj Subql_relational Value

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Aggregate Alcotest Expr Format Helpers List Naive_eval Nested_ast Printf QCheck2 Query_zoo Relation Subql Subql_nested Subql_relational Subql_sql Subql_unnest

@@ -1,0 +1,1 @@
+test/test_gmdj.ml: Aggregate Alcotest Array Distributed Expr Gmdj Helpers List Olap Ops QCheck2 Relation Schema String Subql_gmdj Subql_relational Value

@@ -1,0 +1,1 @@
+test/test_laws.ml: Aggregate Alcotest Array Expr Gmdj Helpers List Ops QCheck2 Relation Schema Subql_gmdj Subql_relational Value

@@ -1,0 +1,1 @@
+test/test_nested.ml: Aggregate Alcotest Catalog Expr Helpers List Naive_eval Nested_ast Normalize Printf Query_zoo Relation Scope Subql_nested Subql_relational Value

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Aggregate Alcotest Expr Gmdj Helpers List Nested_ast Query_zoo Relation String Subql Subql_gmdj Subql_nested Subql_relational

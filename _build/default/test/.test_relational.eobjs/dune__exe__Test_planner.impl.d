@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Expr Float Format Helpers List Naive_eval Nested_ast Printf Query_zoo Relation Str String Subql Subql_nested Subql_relational Value

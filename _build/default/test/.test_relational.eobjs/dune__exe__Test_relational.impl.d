@@ -1,0 +1,1 @@
+test/test_relational.ml: Aggregate Alcotest Array Bool3 Expr Filename Helpers Index List Ops QCheck2 Relation Schema Subql_relational Sys Table_io Value Vec

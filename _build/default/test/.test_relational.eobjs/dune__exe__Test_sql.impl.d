@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Expr Helpers List Naive_eval Nested_ast Ops Query_zoo Relation String Subql Subql_nested Subql_relational Subql_sql Value

@@ -1,0 +1,1 @@
+test/test_transform.ml: Aggregate Alcotest Catalog Expr Format Helpers List Naive_eval Nested_ast Query_zoo Relation Schema Subql Subql_gmdj Subql_nested Subql_relational Value

@@ -1,0 +1,1 @@
+test/test_unnest.ml: Aggregate Alcotest Expr Format Helpers List Naive_eval Nested_ast Query_zoo Relation Subql Subql_nested Subql_relational Subql_unnest Value

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Catalog List Netflow Ops Printf Relation Rng Schema Subql_relational Subql_workload Tpc Value

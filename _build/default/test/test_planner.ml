@@ -1,0 +1,162 @@
+(* Cost model and cost-based plan selection. *)
+
+open Subql_relational
+open Subql_nested
+module N = Nested_ast
+
+let attr = Expr.attr
+
+(* --- Stats ---------------------------------------------------------------- *)
+
+let catalog_of rows_o rows_i =
+  Query_zoo.mk_catalog
+    ( List.init rows_o (fun n -> [ Value.Int (n mod 10); Value.Int n ]),
+      List.init rows_i (fun n -> [ Value.Int (n mod 10); Value.Int n ]),
+      [] )
+
+let test_stats () =
+  let stats = Subql.Cost.Stats.of_catalog (catalog_of 50 200) in
+  Alcotest.(check bool) "rows O" true (Subql.Cost.Stats.table_rows stats "O" = 50.0);
+  Alcotest.(check bool) "rows I" true (Subql.Cost.Stats.table_rows stats "I" = 200.0);
+  Alcotest.(check bool) "unknown default" true
+    (Subql.Cost.Stats.table_rows stats "Nope" = 1000.0);
+  Alcotest.(check (option (float 0.01))) "ndv of O.k" (Some 10.0)
+    (Subql.Cost.Stats.column_distinct stats ~table:"O" ~column:"k");
+  Alcotest.(check (option (float 0.01))) "ndv of O.x" (Some 50.0)
+    (Subql.Cost.Stats.column_distinct stats ~table:"O" ~column:"x")
+
+let test_selectivity () =
+  let stats = Subql.Cost.Stats.of_catalog (catalog_of 50 200) in
+  let origins = [ ("o", "O") ] in
+  let sel e = Subql.Cost.selectivity stats ~origins e in
+  Alcotest.(check (float 0.001)) "eq with ndv" 0.1
+    (sel (Expr.eq (attr ~rel:"o" "k") (Expr.int 3)));
+  Alcotest.(check (float 0.001)) "range" 0.33 (sel (Expr.gt (attr ~rel:"o" "k") (Expr.int 3)));
+  Alcotest.(check bool) "conjunction multiplies" true
+    (sel
+       (Expr.and_
+          (Expr.eq (attr ~rel:"o" "k") (Expr.int 3))
+          (Expr.gt (attr ~rel:"o" "x") (Expr.int 0)))
+    < 0.1);
+  Alcotest.(check bool) "clamped" true (sel (Expr.bool false) > 0.0)
+
+let test_estimate_monotonicity () =
+  let stats = Subql.Cost.Stats.of_catalog (catalog_of 100 1000) in
+  let config = Subql.Eval.default_config in
+  let table = Subql.Algebra.Rename ("o", Subql.Algebra.Table "O") in
+  let est_table = Subql.Cost.estimate stats ~config table in
+  Alcotest.(check (float 0.01)) "table rows" 100.0 est_table.Subql.Cost.rows;
+  let selected =
+    Subql.Algebra.Select (Expr.eq (attr ~rel:"o" "k") (Expr.int 1), table)
+  in
+  let est_sel = Subql.Cost.estimate stats ~config selected in
+  Alcotest.(check bool) "selection reduces rows" true
+    (est_sel.Subql.Cost.rows < est_table.Subql.Cost.rows);
+  Alcotest.(check bool) "selection adds cost" true
+    (est_sel.Subql.Cost.cost > est_table.Subql.Cost.cost)
+
+let test_nl_join_costs_more () =
+  let stats = Subql.Cost.Stats.of_catalog (catalog_of 100 1000) in
+  let join =
+    Subql.Algebra.Join
+      {
+        kind = Subql.Algebra.Inner;
+        cond = Expr.eq (attr ~rel:"o" "k") (attr ~rel:"i" "k");
+        left = Subql.Algebra.Rename ("o", Subql.Algebra.Table "O");
+        right = Subql.Algebra.Rename ("i", Subql.Algebra.Table "I");
+      }
+  in
+  let hash = Subql.Cost.estimate stats ~config:Subql.Eval.default_config join in
+  let nl = Subql.Cost.estimate stats ~config:Subql.Eval.unindexed_config join in
+  Alcotest.(check bool) "nested loop dearer than hash" true
+    (nl.Subql.Cost.cost > hash.Subql.Cost.cost);
+  Alcotest.(check (float 0.01)) "same cardinality" hash.Subql.Cost.rows nl.Subql.Cost.rows
+
+(* --- Planner ---------------------------------------------------------------- *)
+
+let exists_query = List.assoc "exists" Query_zoo.queries
+
+let test_candidates_enumerated () =
+  let catalog = catalog_of 20 100 in
+  let cands = Subql.Planner.candidates catalog exists_query in
+  let labels = List.map (fun c -> c.Subql.Planner.label) cands in
+  Alcotest.(check bool) "gmdj offered" true (List.mem "gmdj" labels);
+  Alcotest.(check bool) "semijoin offered" true (List.mem "semijoin-unnest" labels);
+  Alcotest.(check bool) "outerjoin offered" true (List.mem "outerjoin-unnest" labels);
+  (* sorted by cost *)
+  let costs = List.map (fun c -> c.Subql.Planner.estimate.Subql.Cost.cost) cands in
+  Alcotest.(check bool) "sorted" true (List.sort Float.compare costs = costs)
+
+let test_semijoin_unavailable_for_disjunction () =
+  let catalog = catalog_of 20 100 in
+  let query = List.assoc "disjunction" Query_zoo.queries in
+  let labels =
+    List.map (fun c -> c.Subql.Planner.label) (Subql.Planner.candidates catalog query)
+  in
+  Alcotest.(check bool) "no semijoin plan" false (List.mem "semijoin-unnest" labels);
+  Alcotest.(check bool) "gmdj still offered" true (List.mem "gmdj" labels)
+
+let planner_agrees_prop db =
+  let catalog = Query_zoo.mk_catalog db in
+  List.for_all
+    (fun (_, query) ->
+      let reference = Naive_eval.eval catalog query in
+      Relation.equal_as_multiset reference (Subql.Planner.run catalog query))
+    Query_zoo.queries
+
+let test_every_candidate_agrees () =
+  let catalog = catalog_of 25 120 in
+  List.iter
+    (fun (name, query) ->
+      let reference = Naive_eval.eval catalog query in
+      List.iter
+        (fun c ->
+          let result = Subql.Eval.eval catalog c.Subql.Planner.plan in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s via %s" name c.Subql.Planner.label)
+            true
+            (Relation.equal_as_multiset reference result))
+        (Subql.Planner.candidates catalog query))
+    Query_zoo.queries
+
+(* --- Instrumented evaluation --------------------------------------------- *)
+
+let test_eval_traced () =
+  let catalog = catalog_of 30 200 in
+  let query = List.assoc "exists" Query_zoo.queries in
+  let plan = Subql.Optimize.optimize (Subql.Transform.to_algebra query) in
+  let plain = Subql.Eval.eval catalog plan in
+  let traced, trace = Subql.Eval.eval_traced catalog plan in
+  Alcotest.(check bool) "same result" true (Relation.equal_as_multiset plain traced);
+  Alcotest.(check int) "root cardinality recorded" (Relation.cardinality plain)
+    trace.Subql.Eval.out_rows;
+  let rec count t = 1 + List.fold_left (fun acc c -> acc + count c) 0 t.Subql.Eval.children in
+  Alcotest.(check bool) "per-node traces" true (count trace >= 4);
+  let rendered = Format.asprintf "%a" Subql.Eval.pp_trace trace in
+  Alcotest.(check bool) "renders rows" true
+    (String.length rendered > 0
+    &&
+    let re = Str.regexp_string "rows" in
+    (try ignore (Str.search_forward re rendered 0); true with Not_found -> false))
+
+let () =
+  Alcotest.run "planner"
+    [
+      ( "cost",
+        [
+          Alcotest.test_case "catalog statistics" `Quick test_stats;
+          Alcotest.test_case "selectivities" `Quick test_selectivity;
+          Alcotest.test_case "estimate monotonicity" `Quick test_estimate_monotonicity;
+          Alcotest.test_case "nested loop dearer" `Quick test_nl_join_costs_more;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "candidates enumerated" `Quick test_candidates_enumerated;
+          Alcotest.test_case "semijoin gated by applicability" `Quick
+            test_semijoin_unavailable_for_disjunction;
+          Alcotest.test_case "every candidate agrees" `Quick test_every_candidate_agrees;
+          Helpers.qtest ~count:40 "chosen plan agrees with naive" Query_zoo.db_gen
+            planner_agrees_prop;
+        ] );
+      ("traced", [ Alcotest.test_case "instrumented evaluation" `Quick test_eval_traced ]);
+    ]

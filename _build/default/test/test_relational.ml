@@ -1,0 +1,400 @@
+(* Relational substrate: values, 3VL, schemas, expressions, aggregates,
+   indexes and the operator suite. *)
+
+open Subql_relational
+
+let attr = Expr.attr
+
+(* --- Bool3: Kleene algebra laws -------------------------------------- *)
+
+let bool3_all = [ Bool3.True; Bool3.False; Bool3.Unknown ]
+
+let bool3_gen = QCheck2.Gen.oneofl bool3_all
+
+let test_bool3_tables () =
+  let open Bool3 in
+  Alcotest.(check bool) "t&&u" true (equal (and_ True Unknown) Unknown);
+  Alcotest.(check bool) "f&&u" true (equal (and_ False Unknown) False);
+  Alcotest.(check bool) "t||u" true (equal (or_ True Unknown) True);
+  Alcotest.(check bool) "f||u" true (equal (or_ False Unknown) Unknown);
+  Alcotest.(check bool) "not u" true (equal (not_ Unknown) Unknown);
+  Alcotest.(check bool) "truncation" false (to_bool Unknown)
+
+let bool3_props =
+  let open Bool3 in
+  [
+    Helpers.qtest "de morgan" (QCheck2.Gen.pair bool3_gen bool3_gen) (fun (a, b) ->
+        equal (not_ (and_ a b)) (or_ (not_ a) (not_ b)));
+    Helpers.qtest "and commutes" (QCheck2.Gen.pair bool3_gen bool3_gen) (fun (a, b) ->
+        equal (and_ a b) (and_ b a));
+    Helpers.qtest "or distributes" (QCheck2.Gen.triple bool3_gen bool3_gen bool3_gen)
+      (fun (a, b, c) -> equal (or_ a (and_ b c)) (and_ (or_ a b) (or_ a c)));
+    Helpers.qtest "double negation" bool3_gen (fun a -> equal (not_ (not_ a)) a);
+  ]
+
+(* --- Value ------------------------------------------------------------ *)
+
+let test_value_compare () =
+  Alcotest.(check int) "null first" (-1)
+    (compare (Value.compare Value.Null (Value.Int 0)) 0);
+  Alcotest.(check bool) "int/float promote" true (Value.equal (Value.Int 3) (Value.Float 3.0));
+  Alcotest.(check bool) "hash consistent with promote" true
+    (Value.hash (Value.Int 3) = Value.hash (Value.Float 3.0));
+  Alcotest.(check bool) "null equal for grouping" true (Value.equal Value.Null Value.Null);
+  Alcotest.(check bool) "cmp3 null is unknown" true
+    (Value.cmp3 Value.Null (Value.Int 1) = None);
+  (match Value.cmp3 (Value.Str "a") (Value.Int 1) with
+  | exception Value.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected Type_error on string vs int")
+
+let test_value_arith () =
+  Alcotest.(check bool) "div by zero is null" true (Value.is_null (Value.div (Value.Int 1) (Value.Int 0)));
+  Alcotest.(check bool) "mod by zero is null" true
+    (Value.is_null (Value.modulo (Value.Int 1) (Value.Int 0)));
+  Alcotest.(check bool) "null propagates" true (Value.is_null (Value.add Value.Null (Value.Int 1)));
+  Alcotest.(check bool) "mixed promotes" true
+    (Value.equal (Value.add (Value.Int 1) (Value.Float 0.5)) (Value.Float 1.5))
+
+let test_value_csv_roundtrip () =
+  let cases =
+    [
+      (Value.Tint, Value.Int 42);
+      (Value.Tint, Value.Null);
+      (Value.Tfloat, Value.Float 3.25);
+      (Value.Tstring, Value.Str "hello");
+      (Value.Tbool, Value.Bool true);
+    ]
+  in
+  List.iter
+    (fun (ty, v) ->
+      let round = Value.of_csv_string ty (Value.to_csv_string v) in
+      Alcotest.(check bool) (Value.to_string v) true (Value.equal round v && Value.is_null round = Value.is_null v))
+    cases
+
+(* --- Schema ----------------------------------------------------------- *)
+
+let abc =
+  Schema.of_list
+    [ Schema.attr ~rel:"r" "a" Value.Tint; Schema.attr ~rel:"r" "b" Value.Tint; Schema.attr ~rel:"s" "a" Value.Tint ]
+
+let test_schema_lookup () =
+  Alcotest.(check int) "qualified" 2 (Schema.find abc ~rel:"s" "a");
+  Alcotest.(check int) "bare unique" 1 (Schema.find abc "b");
+  (match Schema.find abc "a" with
+  | exception Schema.Ambiguous_attribute _ -> ()
+  | _ -> Alcotest.fail "bare a should be ambiguous");
+  (match Schema.find abc "zz" with
+  | exception Schema.Unknown_attribute _ -> ()
+  | _ -> Alcotest.fail "zz should be unknown");
+  (match Schema.of_list [ Schema.attr "x" Value.Tint; Schema.attr "x" Value.Tint ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate attribute should be rejected")
+
+let test_schema_fresh_name () =
+  Alcotest.(check string) "fresh" "a_2" (Schema.fresh_name abc "a");
+  Alcotest.(check string) "untouched" "zz" (Schema.fresh_name abc "zz")
+
+let test_schema_rename () =
+  let renamed = Schema.rename_rel "t" abc in
+  Alcotest.(check int) "all requalified" 3
+    (List.length (List.filter (fun a -> a.Schema.rel = "t") (Schema.to_list renamed)));
+  Alcotest.(check bool) "rels" true (Schema.rels renamed = [ "t" ])
+
+(* --- Expr ------------------------------------------------------------- *)
+
+let rs =
+  Schema.of_list [ Schema.attr ~rel:"r" "x" Value.Tint; Schema.attr ~rel:"r" "y" Value.Tint ]
+
+let eval1 e row = Expr.compile rs e (Array.of_list row)
+
+let test_expr_3vl () =
+  let x = attr ~rel:"r" "x" and y = attr ~rel:"r" "y" in
+  let v = eval1 (Expr.lt x y) [ Value.Int 1; Value.Null ] in
+  Alcotest.(check bool) "cmp null -> unknown" true (Value.is_null v);
+  let v = eval1 (Expr.and_ (Expr.lt x (Expr.int 0)) (Expr.lt x y)) [ Value.Int 1; Value.Null ] in
+  Alcotest.(check bool) "false && unknown = false" true (Value.equal v (Value.Bool false));
+  let v = eval1 (Expr.or_ (Expr.gt x (Expr.int 0)) (Expr.lt x y)) [ Value.Int 1; Value.Null ] in
+  Alcotest.(check bool) "true || unknown = true" true (Value.equal v (Value.Bool true));
+  let v = eval1 (Expr.Is_null y) [ Value.Int 1; Value.Null ] in
+  Alcotest.(check bool) "is null" true (Value.equal v (Value.Bool true));
+  let v = eval1 (Expr.Is_true (Expr.lt x y)) [ Value.Int 1; Value.Null ] in
+  Alcotest.(check bool) "unknown is not true" true (Value.equal v (Value.Bool false));
+  let v = eval1 (Expr.Not (Expr.Is_true (Expr.lt x y))) [ Value.Int 1; Value.Null ] in
+  Alcotest.(check bool) "not(is-true unknown)" true (Value.equal v (Value.Bool true));
+  let v = eval1 (Expr.Null_safe_eq (y, Expr.null)) [ Value.Int 1; Value.Null ] in
+  Alcotest.(check bool) "null-safe eq" true (Value.equal v (Value.Bool true))
+
+let test_expr_scoping () =
+  (* Innermost frame wins for bare names; qualifiers disambiguate. *)
+  let outer = Schema.of_list [ Schema.attr ~rel:"o" "x" Value.Tint ] in
+  let inner = Schema.of_list [ Schema.attr ~rel:"i" "x" Value.Tint ] in
+  let f = Expr.compile_frames [| outer; inner |] (attr "x") in
+  let v = f [| [| Value.Int 1 |]; [| Value.Int 2 |] |] in
+  Alcotest.(check bool) "bare resolves innermost" true (Value.equal v (Value.Int 2));
+  let f = Expr.compile_frames [| outer; inner |] (attr ~rel:"o" "x") in
+  let v = f [| [| Value.Int 1 |]; [| Value.Int 2 |] |] in
+  Alcotest.(check bool) "qualified reaches outer" true (Value.equal v (Value.Int 1))
+
+let test_expr_typecheck () =
+  (match Expr.typecheck_bool [| rs |] (Expr.eq (attr ~rel:"r" "x") (Expr.str "s")) with
+  | exception Value.Type_error _ -> ()
+  | () -> Alcotest.fail "int = string should be rejected");
+  (match Expr.typecheck_bool [| rs |] (attr ~rel:"r" "x") with
+  | exception Value.Type_error _ -> ()
+  | () -> Alcotest.fail "bare int is not a predicate");
+  Expr.typecheck_bool [| rs |] (Expr.eq (attr ~rel:"r" "x") Expr.null)
+
+let test_expr_split_equi () =
+  let left = Schema.of_list [ Schema.attr ~rel:"l" "a" Value.Tint ] in
+  let right = Schema.of_list [ Schema.attr ~rel:"r" "b" Value.Tint; Schema.attr ~rel:"r" "c" Value.Tint ] in
+  let cond =
+    Expr.conjoin
+      [
+        Expr.eq (attr ~rel:"l" "a") (attr ~rel:"r" "b");
+        Expr.gt (attr ~rel:"r" "c") (Expr.int 0);
+        Expr.ne (attr ~rel:"l" "a") (attr ~rel:"r" "c");
+      ]
+  in
+  let pairs, residual = Expr.split_equi ~left ~right cond in
+  Alcotest.(check (list (pair int int))) "one pair" [ (0, 0) ] pairs;
+  Alcotest.(check bool) "residual has two conjuncts" true
+    (match residual with Some r -> List.length (Expr.conjuncts r) = 2 | None -> false)
+
+let test_expr_utilities () =
+  let e = Expr.and_ (Expr.eq (attr ~rel:"a" "x") (attr ~rel:"b" "y")) (Expr.gt (attr "z") (Expr.int 1)) in
+  Alcotest.(check (list string)) "qualifiers" [ "a"; "b" ] (Expr.qualifiers e);
+  Alcotest.(check int) "attrs" 3 (List.length (Expr.attrs e));
+  let e' = Expr.rewrite_qualifier ~from_rel:"a" ~to_rel:"q" e in
+  Alcotest.(check (list string)) "rewritten" [ "q"; "b" ] (Expr.qualifiers e');
+  Alcotest.(check bool) "equal reflexive" true (Expr.equal e e);
+  Alcotest.(check bool) "not equal" false (Expr.equal e e')
+
+(* --- Operators --------------------------------------------------------- *)
+
+let rel_of cols rows name =
+  Relation.rename name
+    (Relation.of_list
+       (Schema.of_list (List.map (fun c -> Schema.attr c Value.Tint) cols))
+       (List.map Array.of_list rows))
+
+let join_props =
+  let gen =
+    QCheck2.Gen.pair
+      (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 15)
+         (QCheck2.Gen.list_repeat 2 Helpers.Gen.value_with_nulls))
+      (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 15)
+         (QCheck2.Gen.list_repeat 2 Helpers.Gen.value_with_nulls))
+  in
+  let cond =
+    Expr.and_ (Expr.eq (attr ~rel:"l" "k") (attr ~rel:"r" "k"))
+      (Expr.le (attr ~rel:"l" "v") (attr ~rel:"r" "v"))
+  in
+  let with_rels (lrows, rrows) f =
+    f (rel_of [ "k"; "v" ] lrows "l") (rel_of [ "k"; "v" ] rrows "r")
+  in
+  [
+    Helpers.qtest "hash join = nested loop join" gen (fun db ->
+        with_rels db (fun l r ->
+            Relation.equal_as_multiset
+              (Ops.join ~strategy:`Hash cond l r)
+              (Ops.join ~strategy:`Nested_loop cond l r)));
+    Helpers.qtest "sort-merge join = nested loop join" gen (fun db ->
+        with_rels db (fun l r ->
+            Relation.equal_as_multiset
+              (Ops.join ~strategy:`Sort_merge cond l r)
+              (Ops.join ~strategy:`Nested_loop cond l r)));
+    Helpers.qtest "sort-merge semi/anti = hash semi/anti" gen (fun db ->
+        with_rels db (fun l r ->
+            Relation.equal_as_multiset
+              (Ops.semi_join ~strategy:`Sort_merge cond l r)
+              (Ops.semi_join ~strategy:`Hash cond l r)
+            && Relation.equal_as_multiset
+                 (Ops.anti_join ~strategy:`Sort_merge cond l r)
+                 (Ops.anti_join ~strategy:`Hash cond l r)));
+    Helpers.qtest "hash outer join = nl outer join" gen (fun db ->
+        with_rels db (fun l r ->
+            Relation.equal_as_multiset
+              (Ops.left_outer_join ~strategy:`Hash cond l r)
+              (Ops.left_outer_join ~strategy:`Nested_loop cond l r)));
+    Helpers.qtest "semi + anti partition the left" gen (fun db ->
+        with_rels db (fun l r ->
+            let semi = Ops.semi_join cond l r and anti = Ops.anti_join cond l r in
+            Relation.equal_as_multiset l (Ops.union_all semi anti)));
+    Helpers.qtest "outer join covers every left row" gen (fun db ->
+        with_rels db (fun l r ->
+            let oj = Ops.left_outer_join cond l r in
+            let keys = Ops.project_cols [ (Some "l", "k"); (Some "l", "v") ] oj in
+            Relation.equal_as_multiset (Ops.distinct keys) (Ops.distinct l)));
+    Helpers.qtest "union = distinct union_all" gen (fun (lrows, rrows) ->
+        let l = rel_of [ "k"; "v" ] lrows "t" and r = rel_of [ "k"; "v" ] rrows "t" in
+        Relation.equal_as_multiset (Ops.union l r) (Ops.distinct (Ops.union_all l r)));
+    Helpers.qtest "diff_all cancels one-for-one" gen (fun (lrows, rrows) ->
+        let l = rel_of [ "k"; "v" ] lrows "t" and r = rel_of [ "k"; "v" ] rrows "t" in
+        let d = Ops.diff_all l r in
+        (* monus: |l - r| >= |l| - |r| and removing r again changes nothing new *)
+        Relation.cardinality d >= Relation.cardinality l - Relation.cardinality r
+        && Relation.cardinality d <= Relation.cardinality l);
+  ]
+
+let test_group_by () =
+  let r =
+    rel_of [ "k"; "v" ]
+      Value.
+        [
+          [ Int 1; Int 10 ];
+          [ Int 1; Int 20 ];
+          [ Int 2; Null ];
+          [ Null; Int 5 ];
+          [ Null; Int 7 ];
+        ]
+      "t"
+  in
+  let g =
+    Ops.group_by
+      ~keys:[ (Some "t", "k") ]
+      ~aggs:
+        [
+          Aggregate.count_star "n";
+          Aggregate.sum (attr ~rel:"t" "v") "s";
+          Aggregate.count (attr ~rel:"t" "v") "nv";
+        ]
+      r
+  in
+  Alcotest.(check int) "3 groups (NULL keys group together)" 3 (Relation.cardinality g);
+  let by_key k =
+    match
+      Relation.fold (fun acc row -> if Value.equal row.(0) k then Some row else acc) None g
+    with
+    | Some row -> row
+    | None -> Alcotest.failf "missing group %s" (Value.to_string k)
+  in
+  let g1 = by_key (Value.Int 1) in
+  Alcotest.(check bool) "count" true (Value.equal g1.(1) (Value.Int 2));
+  Alcotest.(check bool) "sum" true (Value.equal g1.(2) (Value.Int 30));
+  let g2 = by_key (Value.Int 2) in
+  Alcotest.(check bool) "sum of nulls is null" true (Value.is_null g2.(2));
+  Alcotest.(check bool) "count of nulls is 0" true (Value.equal g2.(3) (Value.Int 0));
+  let gn = by_key Value.Null in
+  Alcotest.(check bool) "null group aggregates" true (Value.equal gn.(2) (Value.Int 12))
+
+let test_aggregate_all_on_empty () =
+  let r = rel_of [ "v" ] [] "t" in
+  let a =
+    Ops.aggregate_all
+      [
+        Aggregate.count_star "n";
+        Aggregate.sum (attr ~rel:"t" "v") "s";
+        Aggregate.min_ (attr ~rel:"t" "v") "mn";
+        Aggregate.avg (attr ~rel:"t" "v") "av";
+      ]
+      r
+  in
+  Alcotest.(check int) "one row" 1 (Relation.cardinality a);
+  let row = Relation.row a 0 in
+  Alcotest.(check bool) "count 0" true (Value.equal row.(0) (Value.Int 0));
+  Alcotest.(check bool) "sum null" true (Value.is_null row.(1));
+  Alcotest.(check bool) "min null" true (Value.is_null row.(2));
+  Alcotest.(check bool) "avg null" true (Value.is_null row.(3))
+
+let test_distinct_and_sort () =
+  let r = rel_of [ "v" ] Value.[ [ Int 2 ]; [ Null ]; [ Int 1 ]; [ Int 2 ]; [ Null ] ] "t" in
+  Alcotest.(check int) "distinct groups nulls" 3 (Relation.cardinality (Ops.distinct r));
+  let sorted = Ops.sort ~by:[ ((Some "t", "v"), `Asc) ] r in
+  Alcotest.(check bool) "nulls sort first" true (Value.is_null (Relation.row sorted 0).(0));
+  let desc = Ops.sort ~by:[ ((Some "t", "v"), `Desc) ] r in
+  Alcotest.(check bool) "desc" true (Value.equal (Relation.row desc 0).(0) (Value.Int 2))
+
+let test_add_rownum_and_limit () =
+  let r = rel_of [ "v" ] Value.[ [ Int 5 ]; [ Int 6 ]; [ Int 7 ] ] "t" in
+  let numbered = Ops.add_rownum "rid" r in
+  Alcotest.(check bool) "rownum" true (Value.equal (Relation.row numbered 2).(1) (Value.Int 2));
+  Alcotest.(check int) "limit" 2 (Relation.cardinality (Ops.limit 2 r));
+  Alcotest.(check int) "limit over" 3 (Relation.cardinality (Ops.limit 10 r))
+
+(* --- Index ------------------------------------------------------------- *)
+
+let test_index_null_exclusion () =
+  let r = rel_of [ "k"; "v" ] Value.[ [ Int 1; Int 0 ]; [ Null; Int 1 ]; [ Int 1; Int 2 ] ] "t" in
+  let idx = Index.build r [| 0 |] in
+  Alcotest.(check (list int)) "probe 1" [ 0; 2 ] (Index.probe idx [| Value.Int 1 |]);
+  Alcotest.(check (list int)) "probe null finds nothing" [] (Index.probe idx [| Value.Null |]);
+  Alcotest.(check int) "one distinct key" 1 (Index.cardinality idx)
+
+(* --- Vec ---------------------------------------------------------------- *)
+
+let test_vec () =
+  let v = Vec.create ~dummy:0 () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Vec.set v 42 1000;
+  Alcotest.(check int) "set" 1000 (Vec.get v 42);
+  Alcotest.(check int) "fold" (4950 + 1000 - 42) (Vec.fold_left ( + ) 0 v);
+  (match Vec.get v 100 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out of bounds");
+  Vec.clear v;
+  Alcotest.(check bool) "cleared" true (Vec.is_empty v)
+
+(* --- CSV round trip ------------------------------------------------------ *)
+
+let test_csv_roundtrip () =
+  let r =
+    Relation.of_list
+      (Schema.of_list
+         [
+           Schema.attr ~rel:"t" "a" Value.Tint;
+           Schema.attr ~rel:"t" "b" Value.Tstring;
+           Schema.attr ~rel:"t" "c" Value.Tfloat;
+         ])
+      Value.
+        [
+          [| Int 1; Str "x"; Float 1.5 |];
+          [| Null; Str "y"; Null |];
+          [| Int (-3); Null; Float 0.25 |];
+        ]
+  in
+  let path = Filename.temp_file "subql" ".csv" in
+  Table_io.to_csv_file path r;
+  let r' = Table_io.of_csv_file (Relation.schema r) path in
+  Sys.remove path;
+  Helpers.check_multiset_equal "csv roundtrip" r r'
+
+let () =
+  Alcotest.run "relational"
+    [
+      ("bool3", Alcotest.test_case "truth tables" `Quick test_bool3_tables :: bool3_props);
+      ( "value",
+        [
+          Alcotest.test_case "compare/equal/hash" `Quick test_value_compare;
+          Alcotest.test_case "arithmetic" `Quick test_value_arith;
+          Alcotest.test_case "csv cells" `Quick test_value_csv_roundtrip;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "lookup" `Quick test_schema_lookup;
+          Alcotest.test_case "fresh names" `Quick test_schema_fresh_name;
+          Alcotest.test_case "rename" `Quick test_schema_rename;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "three-valued logic" `Quick test_expr_3vl;
+          Alcotest.test_case "frame scoping" `Quick test_expr_scoping;
+          Alcotest.test_case "typecheck" `Quick test_expr_typecheck;
+          Alcotest.test_case "split equi" `Quick test_expr_split_equi;
+          Alcotest.test_case "analysis utilities" `Quick test_expr_utilities;
+        ] );
+      ( "operators",
+        [
+          Alcotest.test_case "group by" `Quick test_group_by;
+          Alcotest.test_case "aggregate over empty" `Quick test_aggregate_all_on_empty;
+          Alcotest.test_case "distinct and sort" `Quick test_distinct_and_sort;
+          Alcotest.test_case "rownum and limit" `Quick test_add_rownum_and_limit;
+        ]
+        @ join_props );
+      ("index", [ Alcotest.test_case "null exclusion" `Quick test_index_null_exclusion ]);
+      ("vec", [ Alcotest.test_case "basic operations" `Quick test_vec ]);
+      ("io", [ Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip ]);
+    ]

@@ -1,0 +1,190 @@
+(* Paged storage: tuple codec, heap files, buffer pool, and disk-resident
+   GMDJ evaluation with exact I/O accounting. *)
+
+open Subql_relational
+open Subql_gmdj
+open Subql_storage
+
+let attr = Expr.attr
+
+let tmp_path () = Filename.temp_file "subql_hf" ".dat"
+
+(* --- Codec ------------------------------------------------------------- *)
+
+let value_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (1, return Value.Null);
+        (3, map (fun i -> Value.Int i) int);
+        (2, map (fun f -> Value.Float f) (float_range (-1e12) 1e12));
+        (2, map (fun s -> Value.Str s) (string_size ~gen:char (int_range 0 40)));
+        (1, map (fun b -> Value.Bool b) bool);
+      ])
+
+let codec_roundtrip values =
+  let buf = Buffer.create 64 in
+  let tuple = Array.of_list values in
+  Codec.encode_tuple buf tuple;
+  let bytes = Buffer.to_bytes buf in
+  let pos = ref 0 in
+  let decoded = Codec.decode_tuple bytes ~pos ~arity:(Array.length tuple) in
+  !pos = Bytes.length bytes
+  && Bytes.length bytes = Codec.tuple_bytes tuple
+  && Array.length decoded = Array.length tuple
+  && Array.for_all2
+       (fun a b ->
+         match a, b with
+         | Value.Float x, Value.Float y -> Int64.bits_of_float x = Int64.bits_of_float y
+         | _ -> Value.equal a b && Value.is_null a = Value.is_null b)
+       tuple decoded
+
+(* --- Heap files ---------------------------------------------------------- *)
+
+let mk_rel n =
+  Relation.of_list
+    (Schema.of_list
+       [
+         Schema.attr ~rel:"R" "k" Value.Tint;
+         Schema.attr ~rel:"R" "name" Value.Tstring;
+         Schema.attr ~rel:"R" "y" Value.Tint;
+       ])
+    (List.init n (fun i ->
+         [|
+           Value.Int (i mod 17);
+           (if i mod 5 = 0 then Value.Null else Value.Str (Printf.sprintf "row-%d" i));
+           Value.Int (i * 3);
+         |]))
+
+let with_file rel ?page_size f =
+  let path = tmp_path () in
+  let hf = Heap_file.write ~path ?page_size rel in
+  Fun.protect
+    ~finally:(fun () ->
+      Heap_file.close hf;
+      Sys.remove path)
+    (fun () -> f path hf)
+
+let test_heap_roundtrip () =
+  let rel = mk_rel 1000 in
+  with_file rel ~page_size:512 (fun path hf ->
+      Alcotest.(check int) "row count" 1000 (Heap_file.row_count hf);
+      Alcotest.(check bool) "multiple pages" true (Heap_file.pages hf > 10);
+      let pool = Buffer_pool.create ~frames:4 in
+      Helpers.check_multiset_equal "write/scan roundtrip" rel (Heap_file.to_relation hf ~pool);
+      (* Reopen from disk and scan again. *)
+      let reopened = Heap_file.openfile ~path ~schema:(Relation.schema rel) in
+      Helpers.check_multiset_equal "reopen roundtrip" rel (Heap_file.to_relation reopened ~pool);
+      Heap_file.close reopened)
+
+let test_heap_errors () =
+  let rel = mk_rel 3 in
+  with_file rel (fun path hf ->
+      ignore hf;
+      (match
+         Heap_file.openfile ~path
+           ~schema:(Schema.of_list [ Schema.attr "only_one" Value.Tint ])
+       with
+      | exception Invalid_argument _ -> ()
+      | hf2 ->
+        Heap_file.close hf2;
+        Alcotest.fail "arity mismatch must be rejected");
+      let big =
+        Relation.of_list
+          (Schema.of_list [ Schema.attr "s" Value.Tstring ])
+          [ [| Value.Str (String.make 600 'x') |] ]
+      in
+      match Heap_file.write ~path:(tmp_path ()) ~page_size:128 big with
+      | exception Invalid_argument _ -> ()
+      | hf2 ->
+        Heap_file.close hf2;
+        Alcotest.fail "oversized tuple must be rejected")
+
+(* --- Buffer pool ---------------------------------------------------------- *)
+
+let test_pool_caching () =
+  let rel = mk_rel 2000 in
+  with_file rel ~page_size:512 (fun _path hf ->
+      let n_pages = Heap_file.pages hf in
+      (* Pool larger than the file: the second scan is all hits. *)
+      let pool = Buffer_pool.create ~frames:(n_pages + 4) in
+      Heap_file.scan hf ~pool (fun _ -> ());
+      let s = Buffer_pool.stats pool in
+      Alcotest.(check int) "cold scan reads every page" n_pages s.Buffer_pool.page_reads;
+      Heap_file.scan hf ~pool (fun _ -> ());
+      Alcotest.(check int) "warm scan reads nothing" n_pages s.Buffer_pool.page_reads;
+      Alcotest.(check int) "warm scan hits every page" n_pages s.Buffer_pool.hits;
+      (* Pool smaller than the file: sequential scans miss every page but
+         never grow beyond the frame budget. *)
+      let small = Buffer_pool.create ~frames:4 in
+      Heap_file.scan hf ~pool:small (fun _ -> ());
+      Heap_file.scan hf ~pool:small (fun _ -> ());
+      let s = Buffer_pool.stats small in
+      Alcotest.(check int) "bounded residency" 4 (Buffer_pool.resident small);
+      Alcotest.(check int) "two cold scans" (2 * n_pages) s.Buffer_pool.page_reads;
+      Alcotest.(check bool) "evictions happened" true (s.Buffer_pool.evictions > 0))
+
+(* --- Paged GMDJ ------------------------------------------------------------ *)
+
+let gmdj_base =
+  Relation.of_list
+    (Schema.of_list [ Schema.attr ~rel:"B" "k" Value.Tint ])
+    (List.init 17 (fun i -> [| Value.Int i |]))
+
+let gmdj_blocks =
+  [
+    Gmdj.block
+      [ Aggregate.count_star "cnt"; Aggregate.sum (attr ~rel:"R" "y") "s" ]
+      (Expr.eq (attr ~rel:"B" "k") (attr ~rel:"R" "k"));
+    Gmdj.block
+      [ Aggregate.max_ (attr ~rel:"R" "y") "mx" ]
+      (Expr.and_
+         (Expr.eq (attr ~rel:"B" "k") (attr ~rel:"R" "k"))
+         (Expr.Is_not_null (attr ~rel:"R" "name")));
+  ]
+
+let test_paged_gmdj_equivalence () =
+  let rel = mk_rel 3000 in
+  with_file rel ~page_size:1024 (fun _path hf ->
+      let pool = Buffer_pool.create ~frames:8 in
+      let on_disk = Paged_gmdj.eval ~pool ~base:gmdj_base ~detail:hf gmdj_blocks in
+      let in_memory = Gmdj.eval ~base:gmdj_base ~detail:(Relation.rename "R" rel) gmdj_blocks in
+      Helpers.check_multiset_equal "paged = in-memory" in_memory on_disk)
+
+let test_coalescing_halves_io () =
+  let rel = mk_rel 3000 in
+  with_file rel ~page_size:512 (fun _path hf ->
+      let n_pages = Heap_file.pages hf in
+      let b1 = [ List.nth gmdj_blocks 0 ] and b2 = [ List.nth gmdj_blocks 1 ] in
+      (* Chained (un-coalesced) GMDJs: two scans of the detail file. *)
+      let pool = Buffer_pool.create ~frames:4 in
+      let chained = Paged_gmdj.eval_chained ~pool ~base:gmdj_base ~detail:hf [ b1; b2 ] in
+      Alcotest.(check int) "two scans" (2 * n_pages)
+        (Buffer_pool.stats pool).Buffer_pool.page_reads;
+      (* Coalesced: one scan. *)
+      let pool = Buffer_pool.create ~frames:4 in
+      let coalesced = Paged_gmdj.eval ~pool ~base:gmdj_base ~detail:hf gmdj_blocks in
+      Alcotest.(check int) "one scan" n_pages (Buffer_pool.stats pool).Buffer_pool.page_reads;
+      Helpers.check_multiset_equal "same answers" chained coalesced)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "codec",
+        [
+          Helpers.qtest ~count:300 "tuple roundtrip"
+            (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 8) value_gen)
+            codec_roundtrip;
+        ] );
+      ( "heap-file",
+        [
+          Alcotest.test_case "write/scan/reopen" `Quick test_heap_roundtrip;
+          Alcotest.test_case "validation" `Quick test_heap_errors;
+        ] );
+      ("buffer-pool", [ Alcotest.test_case "caching and eviction" `Quick test_pool_caching ]);
+      ( "paged-gmdj",
+        [
+          Alcotest.test_case "matches in-memory evaluation" `Quick test_paged_gmdj_equivalence;
+          Alcotest.test_case "coalescing halves page I/O" `Quick test_coalescing_halves_io;
+        ] );
+    ]
