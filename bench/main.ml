@@ -1,6 +1,6 @@
 (* Benchmark driver.
 
-   Usage: main.exe [fig2|fig3|fig4|fig5|fig5-noindex|ablation|micro|all]
+   Usage: main.exe [fig2|fig3|fig4|fig5|fig5-noindex|ablation|micro|obs|all]
                    [--full] [--budget F] [--seed N]
 
    Without --full the table sizes are one tenth of the paper's (the
@@ -87,6 +87,7 @@ let () =
     | "fig5-noindex" -> Figures.run_figure options Figures.fig5_noindex
     | "ablation" -> Figures.ablation options
     | "micro" -> micro ()
+    | "obs" -> Figures.obs options
     | other ->
       Format.eprintf "unknown target %s@." other;
       exit 2

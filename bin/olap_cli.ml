@@ -162,30 +162,61 @@ let run_cmd =
   let analyze_arg =
     Arg.(value & flag & info [ "analyze" ] ~doc:"Print the instrumented operator tree (gmdj engines only).")
   in
+  let explain_analyze_arg =
+    Arg.(value & flag & info [ "explain-analyze" ]
+           ~doc:"Evaluate with full instrumentation and print the annotated plan tree \
+                 (rows in/out, timings, buffer-pool hits/reads, GMDJ detail-scan counts).")
+  in
+  let metrics_arg =
+    Arg.(value & flag & info [ "metrics" ]
+           ~doc:"After the query, dump the process metrics registry (counters, gauges, \
+                 histograms).")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.json"
+           ~doc:"Record execution spans and export them as Chrome-tracing JSON to $(docv) \
+                 (open with chrome://tracing or Perfetto).")
+  in
   let limit_arg =
     Arg.(value & opt int 50 & info [ "limit" ] ~doc:"Print at most this many rows.")
   in
-  let run data workload flows users scale seed engine timed analyze limit sql =
+  let run data workload flows users scale seed engine timed analyze explain_analyze metrics
+      trace_file limit sql =
     let catalog = resolve_catalog data workload flows users scale seed in
     let stmt = parse_sql sql in
+    Option.iter (fun _ -> Subql_obs.Trace.set_enabled true) trace_file;
+    let query = stmt.Subql_sql.Parser.query in
+    (* The instrumented paths need an algebra plan; engines that do not go
+       through the algebra (the native engines) analyze the optimized GMDJ plan. *)
+    let plan_for_analysis () =
+      match engine with
+      | "auto" ->
+        let c = Subql.Planner.choose catalog query in
+        Format.printf "planner: chose %s (est. cost %.0f, est. rows %.0f)@."
+          c.Subql.Planner.label c.Subql.Planner.estimate.Subql.Cost.cost
+          c.Subql.Planner.estimate.Subql.Cost.rows;
+        c.Subql.Planner.plan
+      | "unnest" | "unnest-noidx" -> Subql_unnest.Unnest.best catalog query
+      | "gmdj" | "gmdj-scan" -> Subql.Transform.to_algebra query
+      | _ -> Subql.Optimize.optimize (Subql.Transform.to_algebra query)
+    in
+    let config =
+      if engine = "gmdj-scan" || engine = "unnest-noidx" then Subql.Eval.unindexed_config
+      else Subql.Eval.default_config
+    in
     let t0 = Unix.gettimeofday () in
     let result =
-      if analyze then begin
-        let plan =
-          match engine with
-          | "gmdj" | "gmdj-scan" -> Subql.Transform.to_algebra stmt.Subql_sql.Parser.query
-          | _ ->
-            Subql.Optimize.optimize (Subql.Transform.to_algebra stmt.Subql_sql.Parser.query)
-        in
-        let config =
-          if engine = "gmdj-scan" || engine = "unnest-noidx" then Subql.Eval.unindexed_config
-          else Subql.Eval.default_config
-        in
-        let result, trace = Subql.Eval.eval_traced ~config catalog plan in
+      if explain_analyze then begin
+        let result, node = Subql.Eval.eval_analyzed ~config catalog (plan_for_analysis ()) in
+        Format.printf "%a@." Subql_obs.Explain.pp node;
+        result
+      end
+      else if analyze then begin
+        let result, trace = Subql.Eval.eval_traced ~config catalog (plan_for_analysis ()) in
         Format.printf "%a@." Subql.Eval.pp_trace trace;
         result
       end
-      else run_engine engine catalog stmt.Subql_sql.Parser.query
+      else run_engine engine catalog query
     in
     let result = Subql_sql.Parser.apply_grouping stmt result in
     let result = Subql_sql.Parser.apply_post stmt result in
@@ -193,13 +224,21 @@ let run_cmd =
     Format.printf "%a" Relation.pp (Ops.limit limit result);
     if Relation.cardinality result > limit then
       Format.printf "(%d rows total, showing %d)@." (Relation.cardinality result) limit;
-    if timed then Format.printf "engine %s: %.3fs@." engine dt
+    if timed then Format.printf "engine %s: %.3fs@." engine dt;
+    Option.iter
+      (fun path ->
+        Subql_obs.Trace.export path;
+        Format.printf "trace written to %s@." path)
+      trace_file;
+    if metrics then
+      Format.printf "@.== metrics ==@.%s" (Subql_obs.Metrics.render Subql_obs.Metrics.default)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Parse and evaluate a SQL query")
     Term.(
       const run $ data_arg $ workload_arg $ flows_arg $ users_arg $ scale_arg $ seed_arg
-      $ engine_arg $ time_arg $ analyze_arg $ limit_arg $ sql_arg)
+      $ engine_arg $ time_arg $ analyze_arg $ explain_analyze_arg $ metrics_arg $ trace_arg
+      $ limit_arg $ sql_arg)
 
 let explain_cmd =
   let run data workload flows users scale seed sql =

@@ -122,23 +122,89 @@ let node_label alg =
   | Algebra.Diff_all _ -> "DiffAll"
   | Algebra.Distinct _ -> "Distinct"
 
-let eval_traced ?(config = default_config) catalog alg =
+(* EXPLAIN ANALYZE: every operator runs inside a trace span and yields a
+   {!Subql_obs.Explain.node} carrying what actually happened.  Buffer-
+   pool activity is attributed per operator by delta over the registry's
+   "storage.buffer_pool.*" counters — children are evaluated before the
+   snapshot, so a node only owns its own page traffic. *)
+
+let gmdj_attrs (s : Gmdj.stats) =
+  let base =
+    [
+      ("detail-scans", string_of_int s.Gmdj.detail_passes);
+      ("detail-rows", string_of_int s.Gmdj.detail_scanned);
+      ("theta-evals", string_of_int s.Gmdj.theta_evals);
+    ]
+  in
+  let blocks =
+    match s.Gmdj.block_updates with
+    | [||] -> []
+    | updates ->
+      [
+        ( "block-updates",
+          String.concat "/" (Array.to_list (Array.map string_of_int updates)) );
+      ]
+  in
+  base @ blocks @ if s.Gmdj.early_exit then [ ("early-exit", "true") ] else []
+
+let eval_analyzed ?(config = default_config) ?(registry = Subql_obs.Metrics.default)
+    catalog alg =
+  let module M = Subql_obs.Metrics in
+  let ops = M.counter registry "eval.operators" in
+  let op_seconds = M.histogram registry "eval.operator_seconds" in
+  let rows_out_total = M.counter registry "eval.rows_out" in
+  let pool_hits () = M.counter_value_by_name registry "storage.buffer_pool.hits" in
+  let pool_reads () = M.counter_value_by_name registry "storage.buffer_pool.page_reads" in
   let rec go alg =
     let kid_results = List.map go (children alg) in
     let kids = List.map fst kid_results in
-    let traces = List.map snd kid_results in
+    let kid_nodes = List.map snd kid_results in
+    let gmdj_stats =
+      match alg with
+      | Algebra.Md _ | Algebra.Md_completed _ -> Some (Gmdj.fresh_stats ())
+      | _ -> None
+    in
+    let label = node_label alg in
+    let hits0 = pool_hits () and reads0 = pool_reads () in
     let t0 = Unix.gettimeofday () in
-    let result = apply ~config catalog alg kids in
-    let self_seconds = Unix.gettimeofday () -. t0 in
+    let result =
+      Subql_obs.Trace.with_ label (fun () ->
+          let r = apply ~config ?gmdj_stats catalog alg kids in
+          Subql_obs.Trace.add_attr "rows" (string_of_int (Relation.cardinality r));
+          r)
+    in
+    let elapsed_s = Unix.gettimeofday () -. t0 in
+    let rows_out = Relation.cardinality result in
+    M.incr ops;
+    M.observe op_seconds elapsed_s;
+    M.incr ~by:rows_out rows_out_total;
     ( result,
       {
-        label = node_label alg;
-        out_rows = Relation.cardinality result;
-        self_seconds;
-        children = traces;
+        Subql_obs.Explain.label;
+        rows_in =
+          List.fold_left (fun acc n -> acc + n.Subql_obs.Explain.rows_out) 0 kid_nodes;
+        rows_out;
+        calls = 1;
+        elapsed_s;
+        pool_hits = pool_hits () - hits0;
+        pool_reads = pool_reads () - reads0;
+        attrs = (match gmdj_stats with Some s -> gmdj_attrs s | None -> []);
+        children = kid_nodes;
       } )
   in
   go alg
+
+let eval_traced ?config catalog alg =
+  let result, analysis = eval_analyzed ?config catalog alg in
+  let rec strip n =
+    {
+      label = n.Subql_obs.Explain.label;
+      out_rows = n.Subql_obs.Explain.rows_out;
+      self_seconds = n.Subql_obs.Explain.elapsed_s;
+      children = List.map strip n.Subql_obs.Explain.children;
+    }
+  in
+  (result, strip analysis)
 
 let pp_trace ppf trace =
   let rec pp indent t =

@@ -30,6 +30,24 @@ val schema : Catalog.t -> Algebra.t -> Schema.t
 
 (** {1 Instrumented evaluation (EXPLAIN ANALYZE)} *)
 
+val eval_analyzed :
+  ?config:config ->
+  ?registry:Subql_obs.Metrics.t ->
+  Catalog.t ->
+  Algebra.t ->
+  Relation.t * Subql_obs.Explain.node
+(** Evaluate with every operator instrumented: the returned tree mirrors
+    the plan and annotates each operator with rows-in/rows-out,
+    invocation count, self time, buffer-pool hit/read deltas, and — on
+    [Md]/[Md_completed] nodes — the GMDJ scan statistics
+    (["detail-scans"], ["detail-rows"], ["theta-evals"],
+    ["block-updates"], ["early-exit"]), making Prop. 4.1 coalescing
+    visible as "1 detail scan vs k".  Each operator also runs inside a
+    {!Subql_obs.Trace} span (named by the operator, with a ["rows"]
+    attribute) so [--trace] exports line up with the plan, and publishes
+    per-operator totals into [registry] (default
+    {!Subql_obs.Metrics.default}) under ["eval.*"]. *)
+
 type trace = {
   label : string;  (** operator rendering *)
   out_rows : int;
@@ -39,6 +57,7 @@ type trace = {
 
 val eval_traced :
   ?config:config -> Catalog.t -> Algebra.t -> Relation.t * trace
+(** The cardinality/time projection of {!eval_analyzed}. *)
 
 val pp_trace : Format.formatter -> trace -> unit
 (** Indented tree with per-operator output cardinality and time. *)

@@ -40,6 +40,60 @@ let choose ?config catalog query =
   | best :: _ -> best
   | [] -> assert false (* the GMDJ plan is always present *)
 
-let run ?config catalog query =
+(* --- Estimated-vs-actual feedback ---------------------------------- *)
+
+type feedback = {
+  candidate : candidate;
+  actual_rows : int;
+  q_error : float;
+}
+
+let q_error ~estimated ~actual =
+  let est = Float.max 1. estimated and act = Float.max 1. (float_of_int actual) in
+  Float.max (est /. act) (act /. est)
+
+let q_error_hist () =
+  Subql_obs.Metrics.histogram
+    ~buckets:[ 1.; 1.5; 2.; 4.; 8.; 16.; 64.; 256.; 1024. ]
+    Subql_obs.Metrics.default "planner.q_error"
+
+let record_feedback fb =
+  let open Subql_obs in
+  let r = Metrics.default in
+  Metrics.incr (Metrics.counter r "planner.runs");
+  Metrics.incr (Metrics.counter r ("planner.chosen." ^ fb.candidate.label));
+  Metrics.set (Metrics.gauge r "planner.last_estimated_rows") fb.candidate.estimate.Cost.rows;
+  Metrics.set (Metrics.gauge r "planner.last_actual_rows") (float_of_int fb.actual_rows);
+  Metrics.observe (q_error_hist ()) fb.q_error
+
+let run_with_feedback ?config catalog query =
   let best = choose ?config catalog query in
-  Eval.eval ?config catalog best.plan
+  let result = Eval.eval ?config catalog best.plan in
+  let actual_rows = Relation.cardinality result in
+  let fb =
+    {
+      candidate = best;
+      actual_rows;
+      q_error = q_error ~estimated:best.estimate.Cost.rows ~actual:actual_rows;
+    }
+  in
+  record_feedback fb;
+  (result, fb)
+
+let validate ?config catalog query =
+  List.map
+    (fun cand ->
+      let result = Eval.eval ?config catalog cand.plan in
+      let actual_rows = Relation.cardinality result in
+      let fb =
+        {
+          candidate = cand;
+          actual_rows;
+          q_error = q_error ~estimated:cand.estimate.Cost.rows ~actual:actual_rows;
+        }
+      in
+      Subql_obs.Metrics.observe (q_error_hist ()) fb.q_error;
+      fb)
+    (candidates ?config catalog query)
+
+let run ?config catalog query = fst (run_with_feedback ?config catalog query)

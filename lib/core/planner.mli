@@ -28,9 +28,37 @@ val choose :
   ?config:Eval.config -> Catalog.t -> Subql_nested.Nested_ast.query -> candidate
 (** The cheapest candidate. *)
 
+type feedback = {
+  candidate : candidate;  (** the plan that ran *)
+  actual_rows : int;
+  q_error : float;
+      (** [max(est/actual, actual/est)] with both clamped to ≥ 1 — the
+          standard cardinality-estimation error factor *)
+}
+(** Cost-model feedback: what the planner predicted vs what happened.
+    Recorded into {!Subql_obs.Metrics.default} (["planner.runs"],
+    ["planner.chosen.<label>"], ["planner.last_estimated_rows"],
+    ["planner.last_actual_rows"], and the ["planner.q_error"]
+    histogram) so estimation error is measurable across a workload. *)
+
+val run_with_feedback :
+  ?config:Eval.config ->
+  Catalog.t ->
+  Subql_nested.Nested_ast.query ->
+  Relation.t * feedback
+(** Choose, evaluate, and report estimated-vs-actual for the chosen
+    plan. *)
+
+val validate :
+  ?config:Eval.config -> Catalog.t -> Subql_nested.Nested_ast.query -> feedback list
+(** Run {e every} candidate and report per-candidate estimated-vs-actual
+    rows (all candidates return the same relation, so this measures the
+    estimator, not the plans).  Expensive — meant for cost-model
+    calibration, not query serving. *)
+
 val run :
   ?config:Eval.config -> Catalog.t -> Subql_nested.Nested_ast.query -> Relation.t
-(** Choose and evaluate. *)
+(** Choose and evaluate ([run_with_feedback] minus the report). *)
 
 val set_unnest_providers :
   semijoin:(Catalog.t -> Subql_nested.Nested_ast.query -> Algebra.t option) ->

@@ -211,54 +211,86 @@ let site_filter ~detail_schema blocks =
   if List.exists Option.is_none per_block then None
   else Some (Expr.disjoin (List.filter_map Fun.id per_block))
 
+(* Publish a coordinator run into the process registry: aggregate
+   traffic as counters, the per-site shipped sizes as a histogram (so a
+   skewed partitioning shows up as a wide spread, not just a sum). *)
+let publish ~site_bytes report =
+  let open Subql_obs in
+  let c name = Metrics.counter Metrics.default ("distributed." ^ name) in
+  Metrics.incr (c "executions");
+  Metrics.incr ~by:report.bytes_broadcast (c "bytes_broadcast");
+  Metrics.incr ~by:report.bytes_collected (c "bytes_collected");
+  Metrics.incr ~by:report.messages (c "messages");
+  let shipped =
+    Metrics.histogram
+      ~buckets:[ 1e2; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8 ]
+      Metrics.default "distributed.site_shipped_bytes"
+  in
+  Array.iter (fun b -> Metrics.observe shipped (float_of_int b)) site_bytes
+
 let execute ?(strategy = Partial_aggregates) (cluster : Cluster.t) ~base blocks =
   let sites = Cluster.sites cluster in
-  match strategy with
-  | Ship_all ->
-    let shipped = concat_partitions cluster cluster.Cluster.partitions in
-    {
-      result = Gmdj.eval ~base ~detail:shipped blocks;
-      bytes_broadcast = 0;
-      bytes_collected = relation_bytes shipped;
-      messages = sites;
-    }
-  | Ship_filtered ->
-    let parts =
-      match site_filter ~detail_schema:cluster.Cluster.detail_schema blocks with
-      | None -> cluster.Cluster.partitions
-      | Some pred -> Array.map (Ops.select pred) cluster.Cluster.partitions
-    in
-    let shipped = concat_partitions cluster parts in
-    {
-      result = Gmdj.eval ~base ~detail:shipped blocks;
-      bytes_broadcast = 0;
-      bytes_collected = relation_bytes shipped;
-      messages = sites;
-    }
-  | Partial_aggregates ->
-    let shipped_blocks, kinds = decompose blocks in
-    let n_base_cols = Schema.arity (Relation.schema base) in
-    let partials =
-      Array.map
-        (fun part -> Gmdj.eval ~base ~detail:part shipped_blocks)
-        cluster.Cluster.partitions
-    in
-    let bytes_collected = Array.fold_left (fun acc p -> acc + relation_bytes p) 0 partials in
-    let merged =
-      match Array.to_list partials with
-      | [] -> assert false
-      | first :: rest ->
-        (* Copy before the in-place columnwise merge. *)
-        let acc =
-          Relation.create ~check:false (Relation.schema first)
-            (Array.map Array.copy (Relation.rows first))
-        in
-        List.fold_left (fun acc p -> merge_partials ~n_base_cols ~kinds acc p) acc rest
-    in
-    {
-      result =
-        reconstruct ~base ~detail_schema:cluster.Cluster.detail_schema ~blocks merged;
-      bytes_broadcast = sites * relation_bytes base;
-      bytes_collected;
-      messages = 2 * sites;
-    }
+  Subql_obs.Trace.with_
+    ~attrs:
+      [ ("strategy", strategy_to_string strategy); ("sites", string_of_int sites) ]
+    "distributed.execute"
+  @@ fun () ->
+  let report, site_bytes =
+    match strategy with
+    | Ship_all ->
+      let site_bytes = Array.map relation_bytes cluster.Cluster.partitions in
+      let shipped = concat_partitions cluster cluster.Cluster.partitions in
+      ( {
+          result = Gmdj.eval ~base ~detail:shipped blocks;
+          bytes_broadcast = 0;
+          bytes_collected = relation_bytes shipped;
+          messages = sites;
+        },
+        site_bytes )
+    | Ship_filtered ->
+      let parts =
+        match site_filter ~detail_schema:cluster.Cluster.detail_schema blocks with
+        | None -> cluster.Cluster.partitions
+        | Some pred -> Array.map (Ops.select pred) cluster.Cluster.partitions
+      in
+      let site_bytes = Array.map relation_bytes parts in
+      let shipped = concat_partitions cluster parts in
+      ( {
+          result = Gmdj.eval ~base ~detail:shipped blocks;
+          bytes_broadcast = 0;
+          bytes_collected = relation_bytes shipped;
+          messages = sites;
+        },
+        site_bytes )
+    | Partial_aggregates ->
+      let shipped_blocks, kinds = decompose blocks in
+      let n_base_cols = Schema.arity (Relation.schema base) in
+      let partials =
+        Array.map
+          (fun part -> Gmdj.eval ~base ~detail:part shipped_blocks)
+          cluster.Cluster.partitions
+      in
+      let site_bytes = Array.map relation_bytes partials in
+      let bytes_collected = Array.fold_left ( + ) 0 site_bytes in
+      let merged =
+        match Array.to_list partials with
+        | [] -> assert false
+        | first :: rest ->
+          (* Copy before the in-place columnwise merge. *)
+          let acc =
+            Relation.create ~check:false (Relation.schema first)
+              (Array.map Array.copy (Relation.rows first))
+          in
+          List.fold_left (fun acc p -> merge_partials ~n_base_cols ~kinds acc p) acc rest
+      in
+      ( {
+          result =
+            reconstruct ~base ~detail_schema:cluster.Cluster.detail_schema ~blocks merged;
+          bytes_broadcast = sites * relation_bytes base;
+          bytes_collected;
+          messages = 2 * sites;
+        },
+        site_bytes )
+  in
+  publish ~site_bytes report;
+  report

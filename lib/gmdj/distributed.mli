@@ -58,4 +58,10 @@ val execute :
   ?strategy:strategy -> Cluster.t -> base:Relation.t -> Gmdj.block list -> report
 (** Evaluate the GMDJ over the cluster.  The result is always identical
     to [Gmdj.eval] over the un-partitioned detail relation (verified by
-    the property suite). *)
+    the property suite).
+
+    Each run publishes its traffic to {!Subql_obs.Metrics.default}:
+    counters ["distributed.bytes_broadcast" / "bytes_collected" /
+    "messages" / "executions"], plus the per-site shipped sizes as the
+    ["distributed.site_shipped_bytes"] histogram — partitioning skew is
+    visible as spread, not just as a total. *)

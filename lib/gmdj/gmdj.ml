@@ -8,9 +8,47 @@ type stats = {
   mutable detail_scanned : int;
   mutable theta_evals : int;
   mutable early_exit : bool;
+  mutable detail_passes : int;
+  mutable block_updates : int array;
 }
 
-let fresh_stats () = { detail_scanned = 0; theta_evals = 0; early_exit = false }
+let fresh_stats () =
+  {
+    detail_scanned = 0;
+    theta_evals = 0;
+    early_exit = false;
+    detail_passes = 0;
+    block_updates = [||];
+  }
+
+let ensure_block_slots s n =
+  let have = Array.length s.block_updates in
+  if have < n then s.block_updates <- Array.append s.block_updates (Array.make (n - have) 0)
+
+let strategy_name = function `Reference -> "reference" | `Scan -> "scan" | `Hash -> "hash"
+
+(* Registry publication: the engine-wide counters under "gmdj.*" in
+   {!Subql_obs.Metrics.default}.  Only coordinator-side code calls this
+   — parallel workers accumulate into local stats records which are
+   merged before publication (the registry is single-domain). *)
+let publish ?(evals = 1) ~owned ~passes0 ~rows0 ~thetas0 () =
+  let open Subql_obs in
+  let c name = Metrics.counter Metrics.default ("gmdj." ^ name) in
+  Metrics.incr ~by:evals (c "evals");
+  Metrics.incr ~by:(owned.detail_passes - passes0) (c "detail_passes");
+  Metrics.incr ~by:(owned.detail_scanned - rows0) (c "detail_rows_scanned");
+  Metrics.incr ~by:(owned.theta_evals - thetas0) (c "theta_evals")
+
+(* Run [f] over an owned stats record (the caller's, or a private one so
+   pass/row counting is always on), publishing the deltas. *)
+let with_owned_stats ?attrs ~span stats f =
+  let owned = match stats with Some s -> s | None -> fresh_stats () in
+  let passes0 = owned.detail_passes
+  and rows0 = owned.detail_scanned
+  and thetas0 = owned.theta_evals in
+  let result = Subql_obs.Trace.with_ ?attrs span (fun () -> f owned) in
+  publish ~owned ~passes0 ~rows0 ~thetas0 ();
+  result
 
 let block aggs theta = { aggs; theta }
 
@@ -155,11 +193,12 @@ let emit_row base_row accs_row =
 (* Plain evaluation                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let reference_eval ~base ~detail blocks =
+let reference_eval ~stats ~base ~detail blocks =
   let bs = Relation.schema base and ds = Relation.schema detail in
   let out_schema = output_schema ~base:bs ~detail:ds blocks in
   let frames = [| bs; ds |] in
   let blocks = Array.of_list blocks in
+  ensure_block_slots stats (Array.length blocks);
   Array.iter (fun b -> Expr.typecheck_bool frames b.theta) blocks;
   let thetas = Array.map (fun b -> Expr.compile_frames frames b.theta) blocks in
   let compiled =
@@ -172,12 +211,19 @@ let reference_eval ~base ~detail blocks =
         let accs_row = Array.map (Array.map Aggregate.make) compiled in
         Array.iteri
           (fun i theta ->
+            (* One full detail pass per base tuple and block: the
+               definition's cost, made visible in the stats. *)
+            stats.detail_passes <- stats.detail_passes + 1;
             Relation.iter
               (fun drow ->
+                stats.detail_scanned <- stats.detail_scanned + 1;
+                stats.theta_evals <- stats.theta_evals + 1;
                 ctx.(0) <- brow;
                 ctx.(1) <- drow;
-                if Expr.is_true (theta ctx) then
-                  Array.iter (fun acc -> Aggregate.step acc ctx) accs_row.(i))
+                if Expr.is_true (theta ctx) then begin
+                  stats.block_updates.(i) <- stats.block_updates.(i) + 1;
+                  Array.iter (fun acc -> Aggregate.step acc ctx) accs_row.(i)
+                end)
               detail)
           thetas;
         emit_row brow accs_row)
@@ -191,15 +237,17 @@ let reference_eval ~base ~detail blocks =
 let accumulate_range ?(apply = Aggregate.step) ~plans ~accs ~base_rows ~detail_rows ~stats lo
     hi =
   let n_base = Array.length base_rows in
+  ensure_block_slots stats (Array.length plans);
   let ctx = [| Tuple.empty; Tuple.empty |] in
   let update block_i drow bi =
     ctx.(0) <- base_rows.(bi);
     ctx.(1) <- drow;
+    stats.block_updates.(block_i) <- stats.block_updates.(block_i) + 1;
     Array.iter (fun acc -> apply acc ctx) accs.(bi).(block_i)
   in
   for ri = lo to hi - 1 do
     let drow = detail_rows.(ri) in
-    (match stats with Some s -> s.detail_scanned <- s.detail_scanned + 1 | None -> ());
+    stats.detail_scanned <- stats.detail_scanned + 1;
     Array.iteri
       (fun block_i plan ->
         if prefilter_passes plan drow then
@@ -214,7 +262,10 @@ let accumulate_range ?(apply = Aggregate.step) ~plans ~accs ~base_rows ~detail_r
       plans
   done
 
-let scan_eval ~strategy ~stats ~base ~detail blocks =
+(* [theta_stats] controls the per-pair θ-evaluation counting (a closure
+   wrapper on the hottest path, so it stays opt-in); [stats] is the
+   always-on owned record for pass/row/accumulator counts. *)
+let scan_eval ~strategy ~theta_stats ~stats ~base ~detail blocks =
   let bs = Relation.schema base and ds = Relation.schema detail in
   let out_schema = output_schema ~base:bs ~detail:ds blocks in
   let base_rows = Relation.rows base in
@@ -222,17 +273,32 @@ let scan_eval ~strategy ~stats ~base ~detail blocks =
   let detail_rows = Relation.rows detail in
   let plans =
     Array.of_list
-      (List.map (fun b -> make_plan ~strategy ~stats ~bs ~ds ~base_rows b.theta) blocks)
+      (List.map
+         (fun b -> make_plan ~strategy ~stats:theta_stats ~bs ~ds ~base_rows b.theta)
+         blocks)
   in
   let accs = make_accs ~bs ~ds ~n_base blocks in
+  stats.detail_passes <- stats.detail_passes + 1;
   accumulate_range ~plans ~accs ~base_rows ~detail_rows ~stats 0 (Array.length detail_rows);
   let rows = Array.mapi (fun bi brow -> emit_row brow accs.(bi)) base_rows in
   Relation.create ~check:false out_schema rows
 
-let eval ?(strategy = `Hash) ?stats ~base ~detail blocks =
+let dispatch ~strategy ~theta_stats ~stats ~base ~detail blocks =
   match strategy with
-  | `Reference -> reference_eval ~base ~detail blocks
-  | `Scan | `Hash -> scan_eval ~strategy ~stats ~base ~detail blocks
+  | `Reference -> reference_eval ~stats ~base ~detail blocks
+  | `Scan | `Hash -> scan_eval ~strategy ~theta_stats ~stats ~base ~detail blocks
+
+let eval ?(strategy = `Hash) ?stats ~base ~detail blocks =
+  with_owned_stats
+    ~attrs:
+      [
+        ("strategy", strategy_name strategy);
+        ("blocks", string_of_int (List.length blocks));
+        ("base_rows", string_of_int (Relation.cardinality base));
+        ("detail_rows", string_of_int (Relation.cardinality detail));
+      ]
+    ~span:"gmdj.eval" stats
+    (fun owned -> dispatch ~strategy ~theta_stats:stats ~stats:owned ~base ~detail blocks)
 
 let eval_partitioned ?(strategy = `Hash) ?stats ~domains ~base ~detail blocks =
   if domains <= 0 then invalid_arg "Gmdj.eval_partitioned: domains must be positive";
@@ -241,15 +307,20 @@ let eval_partitioned ?(strategy = `Hash) ?stats ~domains ~base ~detail blocks =
   let n_detail = Array.length detail_rows in
   let domains = max 1 (min domains n_detail) in
   if domains = 1 then eval ~strategy ?stats ~base ~detail blocks
-  else begin
+  else
+    with_owned_stats
+      ~attrs:[ ("domains", string_of_int domains) ]
+      ~span:"gmdj.eval_partitioned" stats
+    @@ fun owned ->
     let bs = Relation.schema base and ds = Relation.schema detail in
     let out_schema = output_schema ~base:bs ~detail:ds blocks in
     let base_rows = Relation.rows base in
     let n_base = Array.length base_rows in
     let chunk = (n_detail + domains - 1) / domains in
     (* Each domain owns its plans (compiled closures and hash indexes
-       carry per-evaluation mutable buffers) and its accumulator matrix;
-       the base and detail row arrays are shared read-only. *)
+       carry per-evaluation mutable buffers), its accumulator matrix and
+       its stats record; the base and detail row arrays are shared
+       read-only and the registry is only touched after the join. *)
     let work lo hi () =
       let local_stats = fresh_stats () in
       let plans =
@@ -259,7 +330,7 @@ let eval_partitioned ?(strategy = `Hash) ?stats ~domains ~base ~detail blocks =
              blocks)
       in
       let accs = make_accs ~bs ~ds ~n_base blocks in
-      accumulate_range ~plans ~accs ~base_rows ~detail_rows ~stats:(Some local_stats) lo hi;
+      accumulate_range ~plans ~accs ~base_rows ~detail_rows ~stats:local_stats lo hi;
       (accs, local_stats)
     in
     let handles =
@@ -269,13 +340,14 @@ let eval_partitioned ?(strategy = `Hash) ?stats ~domains ~base ~detail blocks =
           Domain.spawn (work lo hi))
     in
     let results = List.map Domain.join handles in
-    let merged, first_stats =
-      match results with r :: _ -> r | [] -> assert false
-    in
-    let total_stats = first_stats in
+    let merged = match results with (accs, _) :: _ -> accs | [] -> assert false in
+    (* The partitioned evaluation touches every detail row exactly once,
+       so it counts as one logical pass of the detail relation. *)
+    owned.detail_passes <- owned.detail_passes + 1;
+    ensure_block_slots owned (List.length blocks);
     List.iteri
       (fun i (accs, st) ->
-        if i > 0 then begin
+        if i > 0 then
           Array.iteri
             (fun bi per_block ->
               Array.iteri
@@ -285,18 +357,15 @@ let eval_partitioned ?(strategy = `Hash) ?stats ~domains ~base ~detail blocks =
                     per_agg)
                 per_block)
             accs;
-          total_stats.detail_scanned <- total_stats.detail_scanned + st.detail_scanned;
-          total_stats.theta_evals <- total_stats.theta_evals + st.theta_evals
-        end)
+        owned.detail_scanned <- owned.detail_scanned + st.detail_scanned;
+        owned.theta_evals <- owned.theta_evals + st.theta_evals;
+        Array.iteri
+          (fun block_i n ->
+            owned.block_updates.(block_i) <- owned.block_updates.(block_i) + n)
+          st.block_updates)
       results;
-    (match stats with
-    | Some s ->
-      s.detail_scanned <- s.detail_scanned + total_stats.detail_scanned;
-      s.theta_evals <- s.theta_evals + total_stats.theta_evals
-    | None -> ());
     let rows = Array.mapi (fun bi brow -> emit_row brow merged.(bi)) base_rows in
     Relation.create ~check:false out_schema rows
-  end
 
 let eval_segmented ?(strategy = `Hash) ?stats ~segment_size ~base ~detail blocks =
   if segment_size <= 0 then invalid_arg "Gmdj.eval_segmented: segment_size must be positive";
@@ -305,7 +374,11 @@ let eval_segmented ?(strategy = `Hash) ?stats ~segment_size ~base ~detail blocks
   let base_rows = Relation.rows base in
   let n_base = Array.length base_rows in
   if n_base <= segment_size then eval ~strategy ?stats ~base ~detail blocks
-  else begin
+  else
+    with_owned_stats
+      ~attrs:[ ("segment_size", string_of_int segment_size) ]
+      ~span:"gmdj.eval_segmented" stats
+    @@ fun owned ->
     let out = Vec.create ~capacity:n_base ~dummy:Tuple.empty () in
     let offset = ref 0 in
     while !offset < n_base do
@@ -314,15 +387,12 @@ let eval_segmented ?(strategy = `Hash) ?stats ~segment_size ~base ~detail blocks
         Relation.create ~check:false bs (Array.sub base_rows !offset len)
       in
       let partial =
-        match strategy with
-        | `Reference -> reference_eval ~base:segment ~detail blocks
-        | `Scan | `Hash -> scan_eval ~strategy ~stats ~base:segment ~detail blocks
+        dispatch ~strategy ~theta_stats:stats ~stats:owned ~base:segment ~detail blocks
       in
       Relation.iter (Vec.push out) partial;
       offset := !offset + len
     done;
     Relation.create ~check:false out_schema (Vec.to_array out)
-  end
 
 (* ------------------------------------------------------------------ *)
 (* Completion-aware evaluation (Section 4.2)                            *)
@@ -332,6 +402,17 @@ exception Scan_done
 
 let eval_completed ?(strategy = `Hash) ?stats ~completion ~base ~detail blocks =
   let strategy = match strategy with `Reference -> `Scan | (`Scan | `Hash) as s -> s in
+  with_owned_stats
+    ~attrs:
+      [
+        ("strategy", strategy_name strategy);
+        ("blocks", string_of_int (List.length blocks));
+        ("kill_preds", string_of_int (List.length completion.kill_when));
+        ("require_preds", string_of_int (List.length completion.require_fired));
+      ]
+    ~span:"gmdj.eval_completed" stats
+  @@ fun owned ->
+  ensure_block_slots owned (List.length blocks);
   let bs = Relation.schema base and ds = Relation.schema detail in
   let out_schema = output_schema ~base:bs ~detail:ds blocks in
   let base_rows = Relation.rows base in
@@ -397,10 +478,11 @@ let eval_completed ?(strategy = `Hash) ?stats ~completion ~base ~detail blocks =
   in
   let ctx = [| Tuple.empty; Tuple.empty |] in
   if n_base > 0 && not (early_exit_allowed && (not has_kills) && n_fired_preds = 0) then begin
+    owned.detail_passes <- owned.detail_passes + 1;
     try
       Relation.iter
         (fun drow ->
-          (match stats with Some s -> s.detail_scanned <- s.detail_scanned + 1 | None -> ());
+          owned.detail_scanned <- owned.detail_scanned + 1;
           Array.iter
             (fun plan ->
               if prefilter_passes plan drow then
@@ -427,15 +509,19 @@ let eval_completed ?(strategy = `Hash) ?stats ~completion ~base ~detail blocks =
                     if alive.(bi) then begin
                       ctx.(0) <- base_rows.(bi);
                       ctx.(1) <- drow;
+                      owned.block_updates.(block_i) <- owned.block_updates.(block_i) + 1;
                       Array.iter (fun acc -> Aggregate.step acc ctx) accs.(bi).(block_i)
                     end))
             block_plans;
           compact ())
         detail
-    with Scan_done -> ( match stats with Some s -> s.early_exit <- true | None -> ())
+    with Scan_done ->
+      owned.early_exit <- true;
+      Subql_obs.Metrics.(incr (counter default "gmdj.early_exits"))
   end
   else if n_base > 0 then begin
-    match stats with Some s -> s.early_exit <- true | None -> ()
+    owned.early_exit <- true;
+    Subql_obs.Metrics.(incr (counter default "gmdj.early_exits"))
   end;
   let out = Vec.create ~dummy:Tuple.empty () in
   Array.iteri
@@ -456,6 +542,7 @@ module Maintain = struct
     accs : Aggregate.acc array array array;
     base_rows : Tuple.t array;
     has_minmax : bool;
+    m_stats : stats;  (* lifetime counts over materialization + deltas *)
   }
 
   let has_minmax_agg blocks =
@@ -481,7 +568,8 @@ module Maintain = struct
     in
     let accs = make_accs ~bs ~ds ~n_base:(Array.length base_rows) blocks in
     let detail_rows = Relation.rows detail in
-    accumulate_range ~plans ~accs ~base_rows ~detail_rows ~stats:None 0
+    let m_stats = fresh_stats () in
+    accumulate_range ~plans ~accs ~base_rows ~detail_rows ~stats:m_stats 0
       (Array.length detail_rows);
     {
       out_schema = output_schema ~base:bs ~detail:ds blocks;
@@ -490,6 +578,7 @@ module Maintain = struct
       accs;
       base_rows;
       has_minmax = has_minmax_agg blocks;
+      m_stats;
     }
 
   let check_delta t delta =
@@ -500,7 +589,7 @@ module Maintain = struct
     check_delta t delta;
     let detail_rows = Relation.rows delta in
     accumulate_range ~plans:t.plans ~accs:t.accs ~base_rows:t.base_rows ~detail_rows
-      ~stats:None 0 (Array.length detail_rows)
+      ~stats:t.m_stats 0 (Array.length detail_rows)
 
   let delete_detail t delta =
     check_delta t delta;
@@ -508,7 +597,7 @@ module Maintain = struct
       invalid_arg "Gmdj.Maintain: MIN/MAX views cannot be maintained under deletions";
     let detail_rows = Relation.rows delta in
     accumulate_range ~apply:Aggregate.step_back ~plans:t.plans ~accs:t.accs
-      ~base_rows:t.base_rows ~detail_rows ~stats:None 0 (Array.length detail_rows)
+      ~base_rows:t.base_rows ~detail_rows ~stats:t.m_stats 0 (Array.length detail_rows)
 
   let result t =
     Relation.create ~check:false t.out_schema

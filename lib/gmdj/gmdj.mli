@@ -36,9 +36,23 @@ type stats = {
   mutable detail_scanned : int;  (** detail rows consumed *)
   mutable theta_evals : int;  (** residual/θ predicate evaluations *)
   mutable early_exit : bool;  (** scan stopped before the end *)
+  mutable detail_passes : int;
+      (** detail scans started: 1 per [`Scan]/[`Hash] evaluation, 1 per
+          segment for {!eval_segmented}, |B| × blocks for [`Reference] —
+          the Prop. 4.1 coalescing argument as a number *)
+  mutable block_updates : int array;
+      (** accumulator-update batches per block (grown on demand to the
+          widest block list seen) *)
 }
 
 val fresh_stats : unit -> stats
+
+(** Every evaluation also publishes its pass / scanned-row / θ-count
+    deltas to the process registry ({!Subql_obs.Metrics.default}) under
+    ["gmdj.evals"], ["gmdj.detail_passes"], ["gmdj.detail_rows_scanned"],
+    ["gmdj.theta_evals"] and ["gmdj.early_exits"].  Per-pair θ counting
+    stays opt-in (a [stats] record must be supplied) because it wraps
+    the hottest predicate path; pass and row counts are always exact. *)
 
 val block : Aggregate.spec list -> Expr.t -> block
 

@@ -1,0 +1,54 @@
+type node = {
+  label : string;
+  rows_in : int;
+  rows_out : int;
+  calls : int;
+  elapsed_s : float;
+  pool_hits : int;
+  pool_reads : int;
+  attrs : (string * string) list;
+  children : node list;
+}
+
+let rec fold f acc node = List.fold_left (fold f) (f acc node) node.children
+
+let total_elapsed node = fold (fun acc n -> acc +. n.elapsed_s) 0. node
+
+let attr node key = List.assoc_opt key node.attrs
+
+let sum_attr node key =
+  fold
+    (fun acc n ->
+      match attr n key with
+      | Some v -> ( match int_of_string_opt v with Some i -> acc + i | None -> acc)
+      | None -> acc)
+    0 node
+
+let pp ppf root =
+  let rec pp_node indent n =
+    let label =
+      if String.length n.label > 48 then String.sub n.label 0 45 ^ "..." else n.label
+    in
+    Format.fprintf ppf "%s-> %-*s rows-in=%-8d rows-out=%-8d calls=%-3d time=%8.3fms  pool: %d hit / %d read"
+      (String.make indent ' ')
+      (max 1 (50 - indent))
+      label n.rows_in n.rows_out n.calls (n.elapsed_s *. 1000.) n.pool_hits n.pool_reads;
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %s=%s" k v) n.attrs;
+    Format.fprintf ppf "@.";
+    List.iter (pp_node (indent + 2)) n.children
+  in
+  pp_node 0 root
+
+let rec to_json n =
+  Json.Obj
+    [
+      ("label", Json.Str n.label);
+      ("rows_in", Json.Int n.rows_in);
+      ("rows_out", Json.Int n.rows_out);
+      ("calls", Json.Int n.calls);
+      ("elapsed_s", Json.Float n.elapsed_s);
+      ("pool_hits", Json.Int n.pool_hits);
+      ("pool_reads", Json.Int n.pool_reads);
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) n.attrs));
+      ("children", Json.List (List.map to_json n.children));
+    ]

@@ -1,0 +1,41 @@
+(** The EXPLAIN ANALYZE plan annotation: a tree mirroring the physical
+    plan where every operator carries what actually happened — input and
+    output cardinalities, invocation counts, elapsed time, buffer-pool
+    activity, and operator-specific attributes (a GMDJ node reports its
+    detail-scan passes, making Prop. 4.1 coalescing directly visible as
+    "1 scan vs k").
+
+    The tree is built by the instrumented evaluator
+    ([Subql.Eval.eval_analyzed]); this module only defines the shape and
+    the renderers so it stays engine-agnostic. *)
+
+type node = {
+  label : string;  (** operator rendering *)
+  rows_in : int;  (** total rows received from the children *)
+  rows_out : int;
+  calls : int;  (** times the operator ran (1 for tree evaluation) *)
+  elapsed_s : float;  (** time in this operator, children excluded *)
+  pool_hits : int;  (** buffer-pool hits attributable to this operator *)
+  pool_reads : int;  (** buffer-pool misses (page loads) *)
+  attrs : (string * string) list;  (** operator-specific annotations *)
+  children : node list;
+}
+
+val fold : ('a -> node -> 'a) -> 'a -> node -> 'a
+(** Pre-order fold over the tree. *)
+
+val total_elapsed : node -> float
+(** Sum of per-node self times. *)
+
+val attr : node -> string -> string option
+(** The value of an attribute on this node, if present. *)
+
+val sum_attr : node -> string -> int
+(** Sum of an integer-valued attribute over the whole tree; nodes
+    without the attribute (or with a non-integer value) contribute 0.
+    [sum_attr t "detail-scans"] is the plan's total detail passes. *)
+
+val pp : Format.formatter -> node -> unit
+(** The annotated plan tree, one operator per line. *)
+
+val to_json : node -> Json.t

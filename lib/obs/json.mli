@@ -1,0 +1,25 @@
+(** A minimal JSON value type and serializer.
+
+    The observability exports (Chrome traces, benchmark reports) need
+    well-formed JSON but no parsing and no external dependency, so this
+    module provides just the emitting half.  Strings are escaped per
+    RFC 8259; non-finite floats, which JSON cannot represent, serialize
+    as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_channel : out_channel -> t -> unit
+
+val escape : string -> string
+(** The RFC 8259 escaped form of a string, without the surrounding
+    quotes. *)

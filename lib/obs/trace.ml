@@ -1,0 +1,91 @@
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  start_us : float;
+  dur_us : float;
+  children : span list;
+}
+
+(* An open span under construction: extra attributes and completed
+   children arrive in reverse order. *)
+type frame = {
+  f_name : string;
+  mutable f_attrs : (string * string) list;  (* reversed *)
+  f_start_us : float;
+  mutable f_children : span list;  (* reversed *)
+}
+
+let on = ref false
+
+let stack : frame list ref = ref []
+
+let finished : span list ref = ref []  (* reversed *)
+
+let set_enabled b = on := b
+
+let enabled () = !on
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let push_completed span =
+  match !stack with
+  | parent :: _ -> parent.f_children <- span :: parent.f_children
+  | [] -> finished := span :: !finished
+
+let with_ ?(attrs = []) name f =
+  if not !on then f ()
+  else begin
+    let frame =
+      { f_name = name; f_attrs = List.rev attrs; f_start_us = now_us (); f_children = [] }
+    in
+    stack := frame :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match !stack with top :: rest when top == frame -> stack := rest | _ -> ());
+        push_completed
+          {
+            name = frame.f_name;
+            attrs = List.rev frame.f_attrs;
+            start_us = frame.f_start_us;
+            dur_us = now_us () -. frame.f_start_us;
+            children = List.rev frame.f_children;
+          })
+      f
+  end
+
+let add_attr key value =
+  if !on then
+    match !stack with
+    | frame :: _ -> frame.f_attrs <- (key, value) :: frame.f_attrs
+    | [] -> ()
+
+let roots () = List.rev !finished
+
+let clear () = finished := []
+
+let to_chrome_json () =
+  let events = ref [] in
+  let rec emit span =
+    events :=
+      Json.Obj
+        [
+          ("name", Json.Str span.name);
+          ("cat", Json.Str "subql");
+          ("ph", Json.Str "X");
+          ("ts", Json.Float span.start_us);
+          ("dur", Json.Float span.dur_us);
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 1);
+          ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) span.attrs));
+        ]
+      :: !events;
+    List.iter emit span.children
+  in
+  List.iter emit (roots ());
+  Json.to_string (Json.List (List.rev !events))
+
+let export path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json ()))

@@ -10,8 +10,19 @@ type t = {
   capacity : int;
   table : (string * int, frame) Hashtbl.t;
   mutable clock : int;
-  stats : stats;
+  live : stats;
 }
+
+(* Pool activity also feeds the engine-wide registry, so EXPLAIN ANALYZE
+   can attribute page I/O to operators by counter delta without a
+   dependency on this library. *)
+let m_hits = Subql_obs.Metrics.counter Subql_obs.Metrics.default "storage.buffer_pool.hits"
+
+let m_reads =
+  Subql_obs.Metrics.counter Subql_obs.Metrics.default "storage.buffer_pool.page_reads"
+
+let m_evictions =
+  Subql_obs.Metrics.counter Subql_obs.Metrics.default "storage.buffer_pool.evictions"
 
 let create ~frames =
   if frames <= 0 then invalid_arg "Buffer_pool.create: frames must be positive";
@@ -19,17 +30,22 @@ let create ~frames =
     capacity = frames;
     table = Hashtbl.create (2 * frames);
     clock = 0;
-    stats = { page_reads = 0; hits = 0; evictions = 0 };
+    live = { page_reads = 0; hits = 0; evictions = 0 };
   }
 
 let frames t = t.capacity
 
-let stats t = t.stats
+let stats t =
+  { page_reads = t.live.page_reads; hits = t.live.hits; evictions = t.live.evictions }
+
+let hit_rate t =
+  let accesses = t.live.hits + t.live.page_reads in
+  if accesses = 0 then 0. else float_of_int t.live.hits /. float_of_int accesses
 
 let reset_stats t =
-  t.stats.page_reads <- 0;
-  t.stats.hits <- 0;
-  t.stats.evictions <- 0
+  t.live.page_reads <- 0;
+  t.live.hits <- 0;
+  t.live.evictions <- 0
 
 let resident t = Hashtbl.length t.table
 
@@ -48,18 +64,21 @@ let evict_lru t =
   match !victim with
   | Some (key, _) ->
     Hashtbl.remove t.table key;
-    t.stats.evictions <- t.stats.evictions + 1
+    t.live.evictions <- t.live.evictions + 1;
+    Subql_obs.Metrics.incr m_evictions
   | None -> ()
 
 let fetch t ~key ~load =
   match Hashtbl.find_opt t.table key with
   | Some frame ->
     frame.last_used <- tick t;
-    t.stats.hits <- t.stats.hits + 1;
+    t.live.hits <- t.live.hits + 1;
+    Subql_obs.Metrics.incr m_hits;
     frame.bytes
   | None ->
     if Hashtbl.length t.table >= t.capacity then evict_lru t;
     let bytes = load () in
-    t.stats.page_reads <- t.stats.page_reads + 1;
+    t.live.page_reads <- t.live.page_reads + 1;
+    Subql_obs.Metrics.incr m_reads;
     Hashtbl.replace t.table key { bytes; last_used = tick t };
     bytes

@@ -25,6 +25,14 @@ val create : frames:int -> t
 val frames : t -> int
 
 val stats : t -> stats
+(** A snapshot copy — mutating it cannot corrupt the pool's own
+    accounting, and it does not track later pool activity.  Every
+    access is also published to {!Subql_obs.Metrics.default} under
+    ["storage.buffer_pool.hits" / "page_reads" / "evictions"]. *)
+
+val hit_rate : t -> float
+(** [hits / (hits + page_reads)] since creation or the last
+    {!reset_stats}; [0.] when the pool has not been accessed. *)
 
 val reset_stats : t -> unit
 

@@ -5,12 +5,18 @@
     the exact page I/O a plan performs — making the paper's central cost
     argument observable: a (coalesced) GMDJ touches every detail page
     once, chained GMDJs once per operator, and the working set on the
-    base side is |B| accumulators regardless of the detail size. *)
+    base side is |B| accumulators regardless of the detail size.
+
+    Each evaluation counts one detail pass (and its row count) into the
+    optional [stats] record and into the ["gmdj.*"] series of
+    {!Subql_obs.Metrics.default}; page-level I/O lands in the
+    ["storage.buffer_pool.*"] series via {!Buffer_pool}. *)
 
 open Subql_relational
 open Subql_gmdj
 
 val eval :
+  ?stats:Gmdj.stats ->
   pool:Buffer_pool.t ->
   base:Relation.t ->
   detail:Heap_file.t ->
@@ -19,6 +25,7 @@ val eval :
 (** Identical results to [Gmdj.eval] over the materialized detail. *)
 
 val eval_chained :
+  ?stats:Gmdj.stats ->
   pool:Buffer_pool.t ->
   base:Relation.t ->
   detail:Heap_file.t ->
@@ -26,6 +33,7 @@ val eval_chained :
   Relation.t
 (** Evaluate a chain of GMDJs over the same detail file — the shape the
     translation produces before coalescing: the detail is scanned once
-    per element of the list, and each GMDJ's output becomes the next
-    one's base-values relation.  [eval_chained ~pool ~base ~detail \[b\]]
-    equals [eval ~pool ~base ~detail b]. *)
+    per element of the list ([stats.detail_passes] grows by the chain
+    length), and each GMDJ's output becomes the next one's base-values
+    relation.  [eval_chained ~pool ~base ~detail \[b\]] equals
+    [eval ~pool ~base ~detail b]. *)

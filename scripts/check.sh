@@ -1,0 +1,30 @@
+#!/bin/sh
+# Repo health check: full build, test suite, and a CLI smoke test of the
+# instrumented evaluation path.  Exits non-zero on any failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @default @runtest =="
+dune build @default @runtest
+
+echo
+echo "== CLI smoke test: EXPLAIN ANALYZE on a TPC-H EXISTS subquery =="
+out=$(dune exec bin/olap_cli.exe -- run \
+  --workload tpc --scale 0.002 --engine gmdj-opt --explain-analyze --limit 1 \
+  "SELECT c.c_custkey FROM Customer c WHERE EXISTS (SELECT * FROM Orders o WHERE o.o_custkey = c.c_custkey AND o.o_orderpriority = '1-URGENT')")
+echo "$out"
+
+# The annotated tree must show the coalesced GMDJ doing exactly one
+# detail scan.
+echo "$out" | grep -q "detail-scans=1" || {
+  echo "FAIL: expected detail-scans=1 in the EXPLAIN ANALYZE output" >&2
+  exit 1
+}
+echo "$out" | grep -q "rows-out=" || {
+  echo "FAIL: expected rows-out annotations in the EXPLAIN ANALYZE output" >&2
+  exit 1
+}
+
+echo
+echo "check.sh: OK"

@@ -109,11 +109,17 @@ let test_pool_caching () =
       (* Pool larger than the file: the second scan is all hits. *)
       let pool = Buffer_pool.create ~frames:(n_pages + 4) in
       Heap_file.scan hf ~pool (fun _ -> ());
-      let s = Buffer_pool.stats pool in
-      Alcotest.(check int) "cold scan reads every page" n_pages s.Buffer_pool.page_reads;
+      let cold = Buffer_pool.stats pool in
+      Alcotest.(check int) "cold scan reads every page" n_pages cold.Buffer_pool.page_reads;
+      (* [stats] is a snapshot: the cold-scan copy must not change... *)
       Heap_file.scan hf ~pool (fun _ -> ());
-      Alcotest.(check int) "warm scan reads nothing" n_pages s.Buffer_pool.page_reads;
-      Alcotest.(check int) "warm scan hits every page" n_pages s.Buffer_pool.hits;
+      Alcotest.(check int) "snapshot unaffected by warm scan" 0 cold.Buffer_pool.hits;
+      (* ...while a fresh snapshot sees the warm scan. *)
+      let warm = Buffer_pool.stats pool in
+      Alcotest.(check int) "warm scan reads nothing" n_pages warm.Buffer_pool.page_reads;
+      Alcotest.(check int) "warm scan hits every page" n_pages warm.Buffer_pool.hits;
+      Alcotest.(check (float 1e-9)) "hit rate is hits over accesses" 0.5
+        (Buffer_pool.hit_rate pool);
       (* Pool smaller than the file: sequential scans miss every page but
          never grow beyond the frame budget. *)
       let small = Buffer_pool.create ~frames:4 in
