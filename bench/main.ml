@@ -1,6 +1,6 @@
 (* Benchmark driver.
 
-   Usage: main.exe [fig2|fig3|fig4|fig5|fig5-noindex|ablation|micro|obs|all]
+   Usage: main.exe [fig2|fig3|fig4|fig5|fig5-noindex|ablation|micro|obs|mqo|all]
                    [--full] [--budget F] [--seed N]
 
    Without --full the table sizes are one tenth of the paper's (the
@@ -88,6 +88,7 @@ let () =
     | "ablation" -> Figures.ablation options
     | "micro" -> micro ()
     | "obs" -> Figures.obs options
+    | "mqo" -> Mqo_bench.run options
     | other ->
       Format.eprintf "unknown target %s@." other;
       exit 2

@@ -205,6 +205,7 @@ let run_cmd =
       else Subql.Eval.default_config
     in
     let t0 = Unix.gettimeofday () in
+    let feedback = ref None in
     let result =
       if explain_analyze then begin
         let result, node = Subql.Eval.eval_analyzed ~config catalog (plan_for_analysis ()) in
@@ -216,6 +217,11 @@ let run_cmd =
         Format.printf "%a@." Subql.Eval.pp_trace trace;
         result
       end
+      else if engine = "auto" then begin
+        let result, fb = Subql.Planner.run_with_feedback catalog query in
+        feedback := Some fb;
+        result
+      end
       else run_engine engine catalog query
     in
     let result = Subql_sql.Parser.apply_grouping stmt result in
@@ -224,7 +230,15 @@ let run_cmd =
     Format.printf "%a" Relation.pp (Ops.limit limit result);
     if Relation.cardinality result > limit then
       Format.printf "(%d rows total, showing %d)@." (Relation.cardinality result) limit;
-    if timed then Format.printf "engine %s: %.3fs@." engine dt;
+    if timed then begin
+      Format.printf "engine %s: %.3fs" engine dt;
+      (match !feedback with
+      | Some fb ->
+        Format.printf " (plan %s, q-error %.2f)" fb.Subql.Planner.candidate.Subql.Planner.label
+          fb.Subql.Planner.q_error
+      | None -> ());
+      Format.printf "@."
+    end;
     Option.iter
       (fun path ->
         Subql_obs.Trace.export path;
@@ -267,6 +281,64 @@ let explain_cmd =
       const run $ data_arg $ workload_arg $ flows_arg $ users_arg $ scale_arg $ seed_arg
       $ sql_arg)
 
+let batch_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"File of SQL queries separated by semicolons.")
+  in
+  let repeat_arg =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Run the whole batch $(docv) times against one result cache — later \
+                 rounds demonstrate cache hits.")
+  in
+  let min_cost_arg =
+    Arg.(value & opt float 0. & info [ "cache-min-cost" ] ~docv:"COST"
+           ~doc:"Cost-aware admission threshold: only results whose plan cost estimate \
+                 is at least $(docv) enter the cache.")
+  in
+  let run data workload flows users scale seed file repeat min_cost =
+    let catalog = resolve_catalog data workload flows users scale seed in
+    let text = In_channel.with_open_text file In_channel.input_all in
+    let stmts =
+      String.split_on_char ';' text
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map parse_sql
+    in
+    if stmts = [] then failwith (Printf.sprintf "no queries in %s" file);
+    let queries = List.map (fun s -> s.Subql_sql.Parser.query) stmts in
+    let cache = Subql_mqo.Result_cache.create ~min_cost () in
+    for round = 1 to repeat do
+      let t0 = Unix.gettimeofday () in
+      let report = Subql_mqo.Batch.run ~cache catalog queries in
+      let dt = Unix.gettimeofday () -. t0 in
+      Format.printf "round %d: %d queries in %.3fs@." round (List.length queries) dt;
+      List.iter2
+        (fun stmt (i, result) ->
+          let result = Subql_sql.Parser.apply_grouping stmt result in
+          let result = Subql_sql.Parser.apply_post stmt result in
+          Format.printf "  q%d: %d rows@." i (Relation.cardinality result))
+        stmts report.Subql_mqo.Batch.results;
+      Format.printf "  cache: %d hits, %d misses (%d deduplicated in batch); %d entries, %d bytes resident@."
+        report.Subql_mqo.Batch.cache_hits report.Subql_mqo.Batch.cache_misses
+        report.Subql_mqo.Batch.deduplicated
+        (Subql_mqo.Result_cache.entries cache)
+        (Subql_mqo.Result_cache.resident_bytes cache);
+      Format.printf "  sharing: %d queries in %d shared GMDJ groups@."
+        report.Subql_mqo.Batch.grouped report.Subql_mqo.Batch.groups;
+      Format.printf "  detail scans: %d (naive baseline: %d)@."
+        report.Subql_mqo.Batch.shared_detail_scans
+        report.Subql_mqo.Batch.naive_detail_scans
+    done
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Evaluate a file of queries as one batch: fingerprint deduplication, \
+             cross-query GMDJ sharing, and a result cache across repeats")
+    Term.(
+      const run $ data_arg $ workload_arg $ flows_arg $ users_arg $ scale_arg $ seed_arg
+      $ file_arg $ repeat_arg $ min_cost_arg)
+
 let bench_note_cmd =
   let run () =
     print_endline "The figure-reproduction harness lives in a separate executable:";
@@ -277,4 +349,4 @@ let bench_note_cmd =
 let () =
   let doc = "Subquery evaluation with GMDJs (Akinde & Böhlen, ICDE 2003)" in
   let info = Cmd.info "olap_cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; run_cmd; explain_cmd; bench_note_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; run_cmd; batch_cmd; explain_cmd; bench_note_cmd ]))

@@ -78,6 +78,14 @@ let eval ?(config = default_config) ?gmdj_stats catalog alg =
   let rec go alg = apply ~config ?gmdj_stats catalog alg (List.map go (children alg)) in
   go alg
 
+let eval_with_overrides ?(config = default_config) ?gmdj_stats ~override catalog alg =
+  let rec go alg =
+    match override alg with
+    | Some result -> result
+    | None -> apply ~config ?gmdj_stats catalog alg (List.map go (children alg))
+  in
+  go alg
+
 (* ------------------------------------------------------------------ *)
 (* Instrumented evaluation                                              *)
 (* ------------------------------------------------------------------ *)

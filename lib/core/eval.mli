@@ -28,6 +28,21 @@ val eval :
 
 val schema : Catalog.t -> Algebra.t -> Schema.t
 
+val eval_with_overrides :
+  ?config:config ->
+  ?gmdj_stats:Gmdj.stats ->
+  override:(Algebra.t -> Relation.t option) ->
+  Catalog.t ->
+  Algebra.t ->
+  Relation.t
+(** Like {!eval}, but [override] is consulted at every node before
+    evaluation; [Some r] short-circuits the whole subtree with [r].  The
+    multi-query layer ([Subql_mqo]) uses this to splice shared GMDJ
+    results into several queries' plans: each plan references the same
+    physical combined node, and the override memoizes its single
+    evaluation.  The caller is responsible for [r] having the schema the
+    enclosing operators expect. *)
+
 (** {1 Instrumented evaluation (EXPLAIN ANALYZE)} *)
 
 val eval_analyzed :

@@ -38,3 +38,13 @@ val optimize : ?flags:flags -> Algebra.t -> Algebra.t
 val map_children : (Algebra.t -> Algebra.t) -> Algebra.t -> Algebra.t
 (** Apply a function to the immediate children of a node (generic
     one-level traversal, exported for plan rewriters). *)
+
+val requalify_blocks :
+  from_alias:string ->
+  to_alias:string ->
+  Subql_gmdj.Gmdj.block list ->
+  Subql_gmdj.Gmdj.block list
+(** Rewrite every θ and aggregate argument of the blocks to reference the
+    detail relation under a different alias — the alias adjustment of the
+    Prop. 4.1 merge, exported for the cross-query sharing layer which
+    performs the same merge over GMDJs from {e different} queries. *)

@@ -65,3 +65,23 @@ val set_unnest_providers :
   outerjoin:(Catalog.t -> Subql_nested.Nested_ast.query -> Algebra.t option) ->
   unit
 (** Called once by [Subql_unnest] at load time. *)
+
+type result_cache = {
+  cache_lookup : Subql_nested.Nested_ast.query -> Relation.t option;
+  cache_store :
+    Subql_nested.Nested_ast.query -> cost:float -> Relation.t -> bool;
+}
+(** The multi-query result cache, seen from the planner as two opaque
+    callbacks (the fingerprinting and eviction policy live in
+    [Subql_mqo], which sits above this library). *)
+
+val set_result_cache : result_cache -> unit
+(** Install a result cache: {!run_with_feedback} (and {!run}) first
+    consult [cache_lookup] — a hit is reported as a zero-cost ["cache"]
+    candidate and returned without planning — and on a miss offer the
+    evaluated result to [cache_store] together with the chosen plan's
+    estimated cost.  [Subql_mqo.Batch.install_planner_cache] is the
+    intended caller. *)
+
+val clear_result_cache : unit -> unit
+(** Detach the cache; subsequent runs plan and evaluate normally. *)

@@ -535,6 +535,15 @@ let eval_completed ?(strategy = `Hash) ?stats ~completion ~base ~detail blocks =
 (* ------------------------------------------------------------------ *)
 
 module Maintain = struct
+  (* Process-wide delta generation: every fold/retract of detail rows
+     bumps it, so fingerprint-keyed result caches (Subql_mqo) can treat
+     any maintained-view mutation as an invalidation epoch.  Maintained
+     views change the effective detail content without going through the
+     catalog, so the catalog's own generation cannot see them. *)
+  let generation_counter = ref 0
+
+  let generation () = !generation_counter
+
   type t = {
     out_schema : Schema.t;
     detail_schema : Schema.t;
@@ -587,6 +596,7 @@ module Maintain = struct
 
   let insert_detail t delta =
     check_delta t delta;
+    incr generation_counter;
     let detail_rows = Relation.rows delta in
     accumulate_range ~plans:t.plans ~accs:t.accs ~base_rows:t.base_rows ~detail_rows
       ~stats:t.m_stats 0 (Array.length detail_rows)
@@ -595,6 +605,7 @@ module Maintain = struct
     check_delta t delta;
     if t.has_minmax then
       invalid_arg "Gmdj.Maintain: MIN/MAX views cannot be maintained under deletions";
+    incr generation_counter;
     let detail_rows = Relation.rows delta in
     accumulate_range ~apply:Aggregate.step_back ~plans:t.plans ~accs:t.accs
       ~base_rows:t.base_rows ~detail_rows ~stats:t.m_stats 0 (Array.length detail_rows)

@@ -158,6 +158,13 @@ val eval_completed :
 module Maintain : sig
   type t
 
+  val generation : unit -> int
+  (** A process-wide delta counter, bumped by every successful
+      {!insert_detail} / {!delete_detail} on any view.  Maintained views
+      mutate the effective detail content without touching the catalog,
+      so fingerprint-keyed result caches ([Subql_mqo]) fold this into
+      their invalidation epoch alongside {!Subql_relational.Catalog.generation}. *)
+
   val create :
     ?strategy:strategy -> base:Relation.t -> detail:Relation.t -> block list -> t
   (** Materialize [MD(base, detail, blocks)] with maintainable state. *)

@@ -1,0 +1,140 @@
+open Subql_relational
+open Subql
+
+type report = {
+  results : (int * Relation.t) list;
+  cache_hits : int;
+  cache_misses : int;
+  deduplicated : int;
+  groups : int;
+  grouped : int;
+  shared_detail_scans : int;
+  naive_detail_scans : int;
+}
+
+let count_mds plan =
+  let rec go acc alg =
+    let acc =
+      match alg with
+      | Algebra.Md _ | Algebra.Md_completed _ -> acc + 1
+      | _ -> acc
+    in
+    let child_acc = ref acc in
+    ignore
+      (Optimize.map_children
+         (fun c ->
+           child_acc := go !child_acc c;
+           c)
+         alg);
+    !child_acc
+  in
+  go 0 plan
+
+let solo_plan query = Optimize.optimize (Transform.to_algebra query)
+
+type miss = {
+  m_index : int;
+  m_fp : string;
+  m_shareable : Algebra.t;
+  m_solo : Algebra.t;
+}
+
+let run ?(config = Eval.default_config) ?cache
+    ?(registry = Subql_obs.Metrics.default) catalog queries =
+  let cache =
+    match cache with Some c -> c | None -> Result_cache.create ~registry ()
+  in
+  let stats = Cost.Stats.of_catalog catalog in
+  (* Phase 1: fingerprint and consult the cache. *)
+  let looked =
+    List.mapi
+      (fun i q ->
+        let fp = Fingerprint.of_query q in
+        (i, q, fp, Result_cache.lookup cache fp))
+      queries
+  in
+  let hits =
+    List.filter_map (fun (i, _, _, r) -> Option.map (fun r -> (i, r)) r) looked
+  in
+  (* Phase 2: deduplicate the misses by fingerprint. *)
+  let seen = Hashtbl.create 16 in
+  let reps, dups =
+    List.fold_left
+      (fun (reps, dups) (i, q, fp, cached) ->
+        if Option.is_some cached then (reps, dups)
+        else
+          match Hashtbl.find_opt seen fp with
+          | Some rep_index -> (reps, (i, rep_index) :: dups)
+          | None ->
+            Hashtbl.add seen fp i;
+            ( {
+                m_index = i;
+                m_fp = fp;
+                m_shareable = Share.shareable_plan q;
+                m_solo = solo_plan q;
+              }
+              :: reps,
+              dups ))
+      ([], []) looked
+  in
+  let reps = List.rev reps and dups = List.rev dups in
+  (* Phase 3: plan the distinct misses for shared evaluation and run. *)
+  let batch =
+    Share.plan catalog (List.map (fun m -> (m.m_index, m.m_shareable, m.m_solo)) reps)
+  in
+  let gmdj_stats = Subql_gmdj.Gmdj.fresh_stats () in
+  let computed = Share.run ~config ~gmdj_stats ~registry catalog batch in
+  (* Phase 4: admit computed results under the solo plan's cost. *)
+  List.iter
+    (fun m ->
+      match List.assoc_opt m.m_index computed with
+      | Some result ->
+        let cost = (Cost.estimate stats ~config m.m_solo).Cost.cost in
+        ignore (Result_cache.store cache ~fingerprint:m.m_fp ~cost result)
+      | None -> ())
+    reps;
+  let dup_results = List.map (fun (i, rep) -> (i, List.assoc rep computed)) dups in
+  let results =
+    List.sort
+      (fun (a, _) (b, _) -> compare (a : int) b)
+      (hits @ computed @ dup_results)
+  in
+  (* The naive baseline: a cold, unshared run evaluates every GMDJ of
+     every query's solo plan.  Duplicates count their representative's
+     plan; cache hits count the plan they avoided running. *)
+  let md_counts = Hashtbl.create 16 in
+  List.iter (fun m -> Hashtbl.replace md_counts m.m_fp (count_mds m.m_solo)) reps;
+  let naive_detail_scans =
+    List.fold_left
+      (fun acc (_, q, fp, _) ->
+        acc
+        +
+        match Hashtbl.find_opt md_counts fp with
+        | Some n -> n
+        | None -> count_mds (solo_plan q))
+      0 looked
+  in
+  {
+    results;
+    cache_hits = List.length hits;
+    cache_misses = List.length looked - List.length hits;
+    deduplicated = List.length dups;
+    groups = List.length batch.Share.groups;
+    grouped =
+      List.fold_left
+        (fun acc g -> acc + List.length g.Share.members)
+        0 batch.Share.groups;
+    shared_detail_scans = gmdj_stats.Subql_gmdj.Gmdj.detail_passes;
+    naive_detail_scans;
+  }
+
+let install_planner_cache cache =
+  Planner.set_result_cache
+    {
+      Planner.cache_lookup =
+        (fun query -> Result_cache.lookup cache (Fingerprint.of_query query));
+      cache_store =
+        (fun query ~cost result ->
+          Result_cache.store cache ~fingerprint:(Fingerprint.of_query query) ~cost
+            result);
+    }

@@ -1,0 +1,6 @@
+let manual = ref 0
+
+let bump () = incr manual
+
+let current () =
+  Subql_relational.Catalog.generation () + Subql_gmdj.Gmdj.Maintain.generation () + !manual

@@ -1,0 +1,22 @@
+(** The cache-invalidation epoch.
+
+    Cached results are only valid as long as the data they were computed
+    from is unchanged.  Rather than tracking per-table dependencies, the
+    multi-query layer stamps every cache entry with a process-wide epoch
+    and drops entries whose epoch is stale.  The epoch advances when:
+
+    - any catalog registers or replaces a table
+      ({!Subql_relational.Catalog.generation});
+    - any maintained GMDJ view folds or retracts detail rows
+      ({!Subql_gmdj.Gmdj.Maintain.generation}) — view deltas change the
+      effective detail content without touching the catalog;
+    - a client calls {!bump} explicitly (out-of-band mutations).
+
+    Over-invalidation is the accepted trade: a spurious epoch change
+    costs one recomputation; a missed one would serve stale data. *)
+
+val current : unit -> int
+(** The current epoch.  Monotonically non-decreasing. *)
+
+val bump : unit -> unit
+(** Advance the epoch manually, invalidating every cached result. *)

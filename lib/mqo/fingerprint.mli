@@ -1,0 +1,40 @@
+(** Plan canonicalization and fingerprinting.
+
+    A production front-end re-submits the same subquery templates with
+    cosmetic variations: different relation aliases, WHERE conjuncts in a
+    different order, equalities written both ways round.  The multi-query
+    layer keys its result cache and its sharing groups on a {e canonical}
+    form of the algebra plan, so that such variants collide:
+
+    - {b alpha-renaming}: every alias introduced by a [Rename] node is
+      replaced by a positional name ([~r1], [~r2], ... in first-occurrence
+      pre-order), and every qualified reference follows;
+    - {b commutative normalization}: [And]/[Or] operand lists are
+      flattened and sorted structurally, comparisons are oriented by the
+      structural order of their operands (using the mirror operator), and
+      adjacent selections are merged;
+    - {b canonical block order}: the blocks of a GMDJ are sorted
+      structurally, as are [Project_rel] alias lists.
+
+    Two plans with the same fingerprint are treated as equivalent by the
+    cache; the canonicalization is conservative (it only applies
+    identities of the algebra), so false merges require a Digest
+    collision.  Distinct plans may still fingerprint apart even when some
+    deeper theory would prove them equal — the fingerprint is a cache
+    key, not a decision procedure. *)
+
+open Subql
+
+val canonicalize : Algebra.t -> Algebra.t
+(** The canonical representative of the plan's equivalence class.  Used
+    for fingerprinting only — the canonical plan is {e not} meant to be
+    executed (block reordering changes the position of aggregate
+    columns). *)
+
+val fingerprint : Algebra.t -> string
+(** Hex digest of the canonical form (stable within a process run and
+    across runs). *)
+
+val of_query : Subql_nested.Nested_ast.query -> string
+(** Fingerprint of the query's [SubqueryToGMDJ] translation — the common
+    key under which all engines' results for this query are cached. *)

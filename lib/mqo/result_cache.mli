@@ -1,0 +1,52 @@
+(** A fingerprint-keyed result cache with cost-aware admission.
+
+    The cache maps plan fingerprints ({!Fingerprint}) to fully
+    materialized result relations.  Three policies keep it honest:
+
+    - {b admission} is cost-aware: only results whose estimated
+      evaluation cost ({!Subql.Cost.estimate}) meets [min_cost] are
+      admitted — caching a cheap scan evicts something expensive for no
+      savings;
+    - {b eviction} is LRU by estimated resident bytes: the cache holds at
+      most [max_bytes] of result data and evicts the least-recently-used
+      entries first;
+    - {b invalidation} is epoch-based ({!Epoch}): entries stamped with an
+      older epoch are dropped lazily on lookup, so no mutation can be
+      followed by a stale hit.
+
+    Activity is published to a metrics registry under
+    ["mqo.cache.hits"], ["mqo.cache.misses"], ["mqo.cache.evictions"]
+    and the gauge ["mqo.cache.bytes"]. *)
+
+open Subql_relational
+
+type t
+
+val create :
+  ?max_bytes:int -> ?min_cost:float -> ?registry:Subql_obs.Metrics.t -> unit -> t
+(** [max_bytes] defaults to 64 MiB of estimated result data; [min_cost]
+    (in the cost model's tuple-operation units) defaults to [1000.];
+    [registry] defaults to {!Subql_obs.Metrics.default}.
+    @raise Invalid_argument if [max_bytes <= 0]. *)
+
+val lookup : t -> string -> Relation.t option
+(** The cached result under this fingerprint, if present and current.
+    Counts a hit or a miss; a stale entry is dropped and counts as a
+    miss. *)
+
+val store : t -> fingerprint:string -> cost:float -> Relation.t -> bool
+(** Admit a result computed at the current epoch.  Returns [false]
+    without caching when [cost < min_cost] or the result alone exceeds
+    [max_bytes]; otherwise evicts LRU entries until the result fits and
+    returns [true].  Re-storing an existing fingerprint replaces the
+    entry. *)
+
+val approx_bytes : Relation.t -> int
+(** The size estimate used for accounting: summed cell sizes plus
+    per-row overhead. *)
+
+val entries : t -> int
+
+val resident_bytes : t -> int
+
+val clear : t -> unit

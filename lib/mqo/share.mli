@@ -1,0 +1,66 @@
+(** Cross-query GMDJ sharing: Prop. 4.1 lifted across queries.
+
+    Within one plan, the optimizer coalesces a chain of GMDJs over the
+    same detail occurrence into a single multi-block GMDJ
+    ({!Subql.Optimize}).  This module applies the same merge {e across}
+    a batch of independent queries: GMDJ operators whose base and detail
+    agree (the detail up to alias) are grouped, their block lists are
+    concatenated into one combined GMDJ, and that operator is evaluated
+    once — a single scan of the shared detail table serves every member
+    query.  Each member's plan is rewritten to read its own aggregate
+    columns (renamed ["q<i>~<name>"] to keep the combined schema
+    collision-free) out of the shared result.
+
+    Sharing is conservative: a member joins a group only when the
+    rewritten plan provably produces the member's original schema;
+    anything else falls back to solo evaluation.  Correctness never
+    depends on sharing — only the number of detail scans does. *)
+
+open Subql_relational
+open Subql
+
+type member = {
+  index : int;  (** caller-assigned position in the batch *)
+  plan : Algebra.t;
+      (** the member's plan rewritten to route through the combined GMDJ *)
+}
+
+type group = {
+  combined : Algebra.t;
+      (** the shared multi-block [Md]; physically embedded in every
+          member plan, which is how {!run} recognizes it *)
+  members : member list;  (** at least two *)
+}
+
+type batch = {
+  groups : group list;
+  solo : (int * Algebra.t) list;
+      (** members that could not share, with their solo plans *)
+}
+
+val shareable_plan : Subql_nested.Nested_ast.query -> Algebra.t
+(** Translate and optimize a query for sharing: coalescing and
+    selection push-down are applied, completion is {e not} — completion
+    compiles a particular query's count-conditions into kill/require
+    rules inside the scan, which would filter the shared base for every
+    other member. *)
+
+val plan : Catalog.t -> (int * Algebra.t * Algebra.t) list -> batch
+(** [plan catalog triples] groups the batch for shared evaluation.  Each
+    triple is [(index, shareable, solo)]: [shareable] as produced by
+    {!shareable_plan}, [solo] the plan to use when the member cannot
+    share (typically the fully optimized one).  The catalog is needed to
+    type-check rewritten plans against their solo schema. *)
+
+val run :
+  ?config:Eval.config ->
+  ?gmdj_stats:Subql_gmdj.Gmdj.stats ->
+  ?registry:Subql_obs.Metrics.t ->
+  Catalog.t ->
+  batch ->
+  (int * Relation.t) list
+(** Evaluate every member, computing each group's combined GMDJ exactly
+    once, and return results keyed by the caller's indices (sorted).
+    Counters ["mqo.shared_scans"] (combined GMDJs evaluated) and
+    ["mqo.naive_scans"] (GMDJ evaluations an unshared batch would have
+    performed for those members) record the savings. *)

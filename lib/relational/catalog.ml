@@ -4,7 +4,17 @@ exception Unknown_table of string
 
 let create () = Hashtbl.create 16
 
-let add t name rel = Hashtbl.replace t name (Relation.rename name rel)
+(* A process-wide mutation generation.  Result caches keyed on plan
+   shape (not on catalog identity) use this to invalidate conservatively:
+   any table registration anywhere bumps it, so a cached result can never
+   outlive the data it was computed from. *)
+let generation_counter = ref 0
+
+let generation () = !generation_counter
+
+let add t name rel =
+  incr generation_counter;
+  Hashtbl.replace t name (Relation.rename name rel)
 
 let find t name =
   match Hashtbl.find_opt t name with

@@ -20,3 +20,10 @@ val of_list : (string * Relation.t) list -> t
 
 val tables : t -> string list
 (** Sorted table names. *)
+
+val generation : unit -> int
+(** A process-wide mutation counter, bumped by every {!add} on any
+    catalog.  Consumers that cache derived results (see [Subql_mqo])
+    compare generations to detect that {e some} table changed; the
+    granularity is deliberately coarse — over-invalidation is safe,
+    staleness is not. *)

@@ -1,6 +1,10 @@
 type frame = { bytes : bytes; mutable last_used : int }
 
-type stats = {
+type stats = { page_reads : int; hits : int; evictions : int }
+
+(* The pool's own accounting is mutable; the exposed [stats] record is an
+   immutable snapshot of it. *)
+type live = {
   mutable page_reads : int;
   mutable hits : int;
   mutable evictions : int;
@@ -10,7 +14,7 @@ type t = {
   capacity : int;
   table : (string * int, frame) Hashtbl.t;
   mutable clock : int;
-  live : stats;
+  live : live;
 }
 
 (* Pool activity also feeds the engine-wide registry, so EXPLAIN ANALYZE
@@ -35,7 +39,7 @@ let create ~frames =
 
 let frames t = t.capacity
 
-let stats t =
+let stats t : stats =
   { page_reads = t.live.page_reads; hits = t.live.hits; evictions = t.live.evictions }
 
 let hit_rate t =

@@ -14,10 +14,13 @@
 type t
 
 type stats = {
-  mutable page_reads : int;  (** loader invocations (misses) *)
-  mutable hits : int;
-  mutable evictions : int;
+  page_reads : int;  (** loader invocations (misses) *)
+  hits : int;
+  evictions : int;
 }
+(** An immutable snapshot — {!stats} returns a copy, so mutable fields
+    here would only invite the mistaken belief that writing them affects
+    (or tracks) the pool. *)
 
 val create : frames:int -> t
 (** @raise Invalid_argument if [frames <= 0]. *)

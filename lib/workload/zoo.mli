@@ -1,0 +1,40 @@
+(** The query zoo: a fixed population of nested queries over a three-table
+    O/I/J schema, shared by the cross-engine equivalence suites and the
+    multi-query benchmark.
+
+    The zoo lives in the workload library (not the test tree) so the
+    benchmark harness can use the same templates the correctness suites
+    exercise — a repeated-template OLAP workload is exactly what the
+    multi-query optimizer targets. *)
+
+open Subql_nested
+
+val q : Nested_ast.pred -> Nested_ast.query
+(** A query over [O] aliased [o] with the given WHERE predicate. *)
+
+val corr : Subql_relational.Expr.t
+(** The canonical correlation [i.k = o.k]. *)
+
+val local_i : Subql_relational.Expr.t
+(** The canonical detail-local conjunct [i.y > 2]. *)
+
+val queries : (string * Nested_ast.query) list
+(** Named query shapes covering every subquery kind in Table 1:
+    EXISTS/NOT EXISTS, SOME/ALL, scalar and aggregate comparison, IN/NOT
+    IN, negation, disjunction, linear nesting, non-neighboring
+    references, multi-relation FROM blocks. *)
+
+val find_query : string -> Nested_ast.query
+(** @raise Invalid_argument for an unknown name. *)
+
+val same_detail_templates : string list
+(** Zoo names whose subquery ranges over the detail table [I] — the
+    repeated-template population used by the GMDJ-sharing benchmark: a
+    batch of these admits one shared detail scan (Prop. 4.1 lifted
+    across queries). *)
+
+val catalog :
+  ?outer:int -> ?inner:int -> ?key_range:int -> ?seed:int64 -> unit -> Subql_relational.Catalog.t
+(** A deterministic O/I/J database: [outer] rows in O, [inner] rows in
+    each of I and J, integer keys uniform in [\[0, key_range)], ~5%
+    NULLs.  Same seed, same database. *)

@@ -5,6 +5,21 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== dune build @all (warnings are errors) =="
+# @all also builds targets no test depends on; any compiler output
+# (warnings included) fails the check.
+build_out=$(dune build @all 2>&1) || {
+  echo "$build_out"
+  echo "FAIL: dune build @all failed" >&2
+  exit 1
+}
+if [ -n "$build_out" ]; then
+  echo "$build_out"
+  echo "FAIL: dune build @all produced warnings" >&2
+  exit 1
+fi
+
+echo
 echo "== dune build @default @runtest =="
 dune build @default @runtest
 
@@ -25,6 +40,51 @@ echo "$out" | grep -q "rows-out=" || {
   echo "FAIL: expected rows-out annotations in the EXPLAIN ANALYZE output" >&2
   exit 1
 }
+
+echo
+echo "== CLI smoke test: batch with cross-query sharing and a warm cache =="
+batch_sql=$(mktemp /tmp/check_batch_XXXXXX.sql)
+trap 'rm -f "$batch_sql"' EXIT
+cat > "$batch_sql" <<'SQL'
+SELECT u.UserName FROM User u
+WHERE EXISTS (SELECT * FROM Flow f WHERE f.SourceIP = u.IPAddress);
+SELECT u.UserName FROM User u
+WHERE NOT EXISTS (SELECT * FROM Flow f WHERE f.SourceIP = u.IPAddress
+                  AND f.NumBytes > u.Quota);
+SELECT u.UserName FROM User u
+WHERE EXISTS (SELECT * FROM Flow f WHERE f.SourceIP = u.IPAddress)
+SQL
+bout=$(dune exec bin/olap_cli.exe -- batch "$batch_sql" --repeat 2)
+echo "$bout"
+
+# Round 1 must share the three same-detail GMDJs into fewer scans than
+# the naive one-scan-per-query baseline; round 2 must be all cache hits.
+echo "$bout" | grep -q "detail scans: 1 (naive baseline: 3)" || {
+  echo "FAIL: expected the cold batch to share 3 queries into 1 detail scan" >&2
+  exit 1
+}
+echo "$bout" | grep -q "cache: 3 hits, 0 misses" || {
+  echo "FAIL: expected the second round to be served entirely from cache" >&2
+  exit 1
+}
+
+echo
+echo "== bench smoke test: mqo target keeps BENCH_mqo.json well-formed =="
+dune exec bench/main.exe -- mqo > /dev/null
+python3 - <<'PY'
+import json, sys
+with open("BENCH_mqo.json") as f:
+    doc = json.load(f)
+for key in ("benchmark", "solo", "cold", "warm", "verified"):
+    if key not in doc:
+        sys.exit(f"FAIL: BENCH_mqo.json missing key {key!r}")
+if doc["verified"] is not True:
+    sys.exit("FAIL: BENCH_mqo.json reports verified != true")
+if not doc["cold"]["detail_scans"] < doc["solo"]["detail_scans"]:
+    sys.exit("FAIL: shared batch did not reduce detail scans")
+print("BENCH_mqo.json: well-formed, verified, scans %d -> %d"
+      % (doc["solo"]["detail_scans"], doc["cold"]["detail_scans"]))
+PY
 
 echo
 echo "check.sh: OK"

@@ -1,11 +1,8 @@
-(* A shared zoo of nested queries and a random-database generator used by
-   the cross-engine equivalence suites. *)
+(* The zoo queries themselves live in Subql_workload.Zoo (shared with the
+   benchmark harness); this module keeps the QCheck random-database
+   generator the equivalence suites layer on top. *)
 
 open Subql_relational
-open Subql_nested
-module N = Nested_ast
-
-let attr = Expr.attr
 
 (* --- random database ------------------------------------------------- *)
 
@@ -29,169 +26,12 @@ let mk_catalog (orows, irows, jrows) =
 
 (* --- the query zoo --------------------------------------------------- *)
 
-let q where = N.query ~base:(N.table "O") ~alias:"o" where
+let attr = Expr.attr
 
-let corr = Expr.eq (attr ~rel:"i" "k") (attr ~rel:"o" "k")
+let q = Subql_workload.Zoo.q
 
-let local_i = Expr.gt (attr ~rel:"i" "y") (Expr.int 2)
+let corr = Subql_workload.Zoo.corr
 
-let queries : (string * N.query) list =
-  [
-    ("exists", q (N.exists ~where:(N.atom (Expr.and_ corr local_i)) (N.table "I") "i"));
-    ("not-exists", q (N.not_exists ~where:(N.atom corr) (N.table "I") "i"));
-    ( "some",
-      q
-        (N.some_ (attr ~rel:"o" "x") Expr.Lt ~where:(N.atom corr) (N.table "I") "i" ~col:"y")
-    );
-    ( "all-ne",
-      q (N.all_ (attr ~rel:"o" "x") Expr.Ne ~where:(N.atom local_i) (N.table "I") "i" ~col:"y")
-    );
-    ( "all-gt-correlated",
-      q (N.all_ (attr ~rel:"o" "x") Expr.Gt ~where:(N.atom corr) (N.table "I") "i" ~col:"y")
-    );
-    ( "scalar",
-      q
-        (N.scalar_cmp (attr ~rel:"o" "x") Expr.Eq ~where:(N.atom corr) (N.table "I") "i"
-           ~col:"y") );
-    ( "agg-sum",
-      q
-        (N.agg_cmp (attr ~rel:"o" "x") Expr.Lt
-           (Aggregate.Sum (attr ~rel:"i" "y"))
-           ~where:(N.atom corr) (N.table "I") "i") );
-    ( "agg-count",
-      q
-        (N.agg_cmp (attr ~rel:"o" "x") Expr.Ge
-           (Aggregate.Count (attr ~rel:"i" "y"))
-           ~where:(N.atom corr) (N.table "I") "i") );
-    ( "agg-max-uncorrelated",
-      q
-        (N.agg_cmp (attr ~rel:"o" "x") Expr.Gt (Aggregate.Max (attr ~rel:"i" "y"))
-           (N.table "I") "i") );
-    ("in", q (N.in_ (attr ~rel:"o" "x") ~where:(N.atom local_i) (N.table "I") "i" ~col:"y"));
-    ("not-in", q (N.not_in (attr ~rel:"o" "x") (N.table "I") "i" ~col:"y"));
-    ( "negated-exists",
-      q (N.pnot (N.exists ~where:(N.atom (Expr.and_ corr local_i)) (N.table "I") "i")) );
-    ( "negated-some",
-      q
-        (N.pnot
-           (N.some_ (attr ~rel:"o" "x") Expr.Le ~where:(N.atom corr) (N.table "I") "i"
-              ~col:"y")) );
-    ( "disjunction",
-      q
-        (N.por
-           (N.exists ~where:(N.atom (Expr.and_ corr local_i)) (N.table "I") "i")
-           (N.atom (Expr.gt (attr ~rel:"o" "x") (Expr.int 3)))) );
-    ( "two-subqueries-same-table",
-      q
-        (N.pand
-           (N.exists ~where:(N.atom (Expr.and_ corr local_i)) (N.table "I") "i")
-           (N.not_exists
-              ~where:(N.atom (Expr.eq (attr ~rel:"i2" "k") (attr ~rel:"o" "x")))
-              (N.table "I") "i2")) );
-    ( "two-subqueries-or",
-      q
-        (N.por
-           (N.exists ~where:(N.atom corr) (N.table "I") "i")
-           (N.exists
-              ~where:(N.atom (Expr.eq (attr ~rel:"j" "k") (attr ~rel:"o" "x")))
-              (N.table "J") "j")) );
-    ( "linear-nesting",
-      q
-        (N.exists
-           ~where:
-             (N.pand (N.atom corr)
-                (N.exists
-                   ~where:
-                     (N.atom
-                        (Expr.and_
-                           (Expr.eq (attr ~rel:"j" "k") (attr ~rel:"i" "k"))
-                           (Expr.lt (attr ~rel:"j" "y") (attr ~rel:"i" "y"))))
-                   (N.table "J") "j"))
-           (N.table "I") "i") );
-    ( "non-neighboring",
-      (* j references o across i's scope: forces Thm 3.3/3.4 push-down. *)
-      q
-        (N.exists
-           ~where:
-             (N.pand (N.atom corr)
-                (N.not_exists
-                   ~where:
-                     (N.atom
-                        (Expr.and_
-                           (Expr.eq (attr ~rel:"j" "k") (attr ~rel:"i" "k"))
-                           (Expr.eq (attr ~rel:"j" "y") (attr ~rel:"o" "x"))))
-                   (N.table "J") "j"))
-           (N.table "I") "i") );
-    ( "double-negation-division",
-      (* Example 3.3's shape: o's with no I-row lacking a J-witness. *)
-      q
-        (N.not_exists
-           ~where:
-             (N.pand (N.atom local_i)
-                (N.not_exists
-                   ~where:
-                     (N.atom
-                        (Expr.and_
-                           (Expr.eq (attr ~rel:"j" "k") (attr ~rel:"i" "k"))
-                           (Expr.eq (attr ~rel:"j" "y") (attr ~rel:"o" "k"))))
-                   (N.table "J") "j"))
-           (N.table "I") "i") );
-    ( "nested-agg",
-      q
-        (N.exists
-           ~where:
-             (N.pand (N.atom corr)
-                (N.agg_cmp (attr ~rel:"i" "y") Expr.Gt
-                   (Aggregate.Avg (attr ~rel:"j" "y"))
-                   ~where:(N.atom (Expr.eq (attr ~rel:"j" "k") (attr ~rel:"i" "k")))
-                   (N.table "J") "j"))
-           (N.table "I") "i") );
-    ( "distinct-base",
-      N.query
-        ~base:(N.Bproject { cols = [ "k" ]; distinct = true; input = N.table "O" })
-        ~alias:"o"
-        (N.exists
-           ~where:(N.atom (Expr.eq (attr ~rel:"i" "k") (attr ~rel:"o" "k")))
-           (N.table "I") "i") );
-    ( "multi-from",
-      (* FROM O a, I b: the block binds two aliases; the subquery
-         correlates against both (neighboring for both). *)
-      N.query
-        ~base:(N.Bproduct (N.Balias ("a", N.table "O"), N.Balias ("b", N.table "I")))
-        ~alias:""
-        (N.pand
-           (N.atom (Expr.eq (attr ~rel:"a" "k") (attr ~rel:"b" "k")))
-           (N.exists
-              ~where:
-                (N.atom
-                   (Expr.and_
-                      (Expr.eq (attr ~rel:"j" "k") (attr ~rel:"a" "k"))
-                      (Expr.gt (attr ~rel:"j" "y") (attr ~rel:"b" "y"))))
-              (N.table "J") "j")) );
-    ( "multi-from-non-neighboring",
-      (* The innermost subquery reaches the second FROM relation across
-         an intermediate scope. *)
-      N.query
-        ~base:(N.Bproduct (N.Balias ("a", N.table "O"), N.Balias ("b", N.table "O")))
-        ~alias:""
-        (N.exists
-           ~where:
-             (N.pand
-                (N.atom (Expr.eq (attr ~rel:"i" "k") (attr ~rel:"a" "k")))
-                (N.not_exists
-                   ~where:
-                     (N.atom
-                        (Expr.and_
-                           (Expr.eq (attr ~rel:"j" "k") (attr ~rel:"i" "k"))
-                           (Expr.eq (attr ~rel:"j" "y") (attr ~rel:"b" "x"))))
-                   (N.table "J") "j"))
-           (N.table "I") "i") );
-    ( "mixed-atoms",
-      q
-        (N.pand
-           (N.atom (Expr.Is_not_null (attr ~rel:"o" "k")))
-           (N.pand
-              (N.exists ~where:(N.atom corr) (N.table "I") "i")
-              (N.atom (Expr.ne (attr ~rel:"o" "x") (Expr.int 0))))) );
-  ]
+let local_i = Subql_workload.Zoo.local_i
 
+let queries = Subql_workload.Zoo.queries

@@ -187,6 +187,130 @@ let roundtrip (query, db) =
         false
       end)
 
+(* --- Fingerprint invariance properties ------------------------------ *)
+
+(* Rewrite every fuzzer-generated subquery alias ([s<path>]) to a fresh
+   name, consistently across binders and references.  The result is the
+   same query up to alpha-renaming, so its fingerprint must not move. *)
+let rename_alias a = if String.length a > 0 && a.[0] = 's' then "t" ^ a else a
+
+let rename_expr e =
+  Expr.map_attrs (fun (q, n) -> Expr.Attr (Option.map rename_alias q, n)) e
+
+let rec rename_pred = function
+  | N.Ptrue -> N.Ptrue
+  | N.Atom e -> N.Atom (rename_expr e)
+  | N.Pand (a, b) -> N.Pand (rename_pred a, rename_pred b)
+  | N.Por (a, b) -> N.Por (rename_pred a, rename_pred b)
+  | N.Pnot p -> N.Pnot (rename_pred p)
+  | N.Sub s ->
+    let kind =
+      match s.N.kind with
+      | N.Exists -> N.Exists
+      | N.Not_exists -> N.Not_exists
+      | N.Cmp_scalar (lhs, op, col) -> N.Cmp_scalar (rename_expr lhs, op, col)
+      | N.Cmp_agg (lhs, op, func) ->
+        let func =
+          match func with
+          | Aggregate.Count_star -> Aggregate.Count_star
+          | Aggregate.Count e -> Aggregate.Count (rename_expr e)
+          | Aggregate.Sum e -> Aggregate.Sum (rename_expr e)
+          | Aggregate.Min e -> Aggregate.Min (rename_expr e)
+          | Aggregate.Max e -> Aggregate.Max (rename_expr e)
+          | Aggregate.Avg e -> Aggregate.Avg (rename_expr e)
+        in
+        N.Cmp_agg (rename_expr lhs, op, func)
+      | N.Quant (lhs, op, q, col) -> N.Quant (rename_expr lhs, op, q, col)
+      | N.In_ (lhs, col) -> N.In_ (rename_expr lhs, col)
+      | N.Not_in (lhs, col) -> N.Not_in (rename_expr lhs, col)
+    in
+    N.Sub
+      {
+        kind;
+        source = s.N.source;
+        s_alias = rename_alias s.N.s_alias;
+        s_where = rename_pred s.N.s_where;
+      }
+
+let rename_query (q : N.query) = { q with N.q_where = rename_pred q.N.q_where }
+
+let fp_alpha_invariant (query, _db) =
+  let a = Subql_mqo.Fingerprint.of_query query
+  and b = Subql_mqo.Fingerprint.of_query (rename_query query) in
+  if String.equal a b then true
+  else begin
+    Format.eprintf "@.fingerprint moved under alpha-renaming:@.%a@." N.pp_query query;
+    false
+  end
+
+(* Commute conjunctions and disjunctions of the outer WHERE clause.
+   Only subquery-free subtrees outside any subquery are swapped:
+   reordering a subquery (or the conjuncts inside one) permutes the
+   translation's generated aggregate names and its correlated-column
+   threading order, both of which are schema-affecting and deliberately
+   not normalized by fingerprinting. *)
+let rec sub_free = function
+  | N.Ptrue | N.Atom _ -> true
+  | N.Pand (a, b) | N.Por (a, b) -> sub_free a && sub_free b
+  | N.Pnot p -> sub_free p
+  | N.Sub _ -> false
+
+let rec commute_expr = function
+  | Expr.And (a, b) -> Expr.And (commute_expr b, commute_expr a)
+  | Expr.Or (a, b) -> Expr.Or (commute_expr b, commute_expr a)
+  | e -> e
+
+let rec commute_pred = function
+  | N.Ptrue -> N.Ptrue
+  | N.Atom e -> N.Atom (commute_expr e)
+  | N.Pand (a, b) when sub_free a && sub_free b ->
+    N.Pand (commute_pred b, commute_pred a)
+  | N.Pand (a, b) -> N.Pand (commute_pred a, commute_pred b)
+  | N.Por (a, b) when sub_free a && sub_free b ->
+    N.Por (commute_pred b, commute_pred a)
+  | N.Por (a, b) -> N.Por (commute_pred a, commute_pred b)
+  | N.Pnot p -> N.Pnot (commute_pred p)
+  | N.Sub _ as s -> s
+
+let fp_commute_invariant (query, _db) =
+  let commuted = { query with N.q_where = commute_pred query.N.q_where } in
+  let a = Subql_mqo.Fingerprint.of_query query
+  and b = Subql_mqo.Fingerprint.of_query commuted in
+  if String.equal a b then true
+  else begin
+    Format.eprintf "@.fingerprint moved under commutation:@.%a@." N.pp_query query;
+    false
+  end
+
+(* The zoo's queries are pairwise semantically different with one
+   exception: "negated-some" (NOT (x ≤ SOME S)) and "all-gt-correlated"
+   (x > ALL S) are the same query in two syntaxes — and the translation
+   maps them to the same canonical plan, so their fingerprints coincide.
+   Every other pair must stay distinct. *)
+let zoo_fingerprints_distinct () =
+  let same_query = [ ("negated-some", "all-gt-correlated") ] in
+  let fps =
+    List.map
+      (fun (name, q) -> (name, Subql_mqo.Fingerprint.of_query q))
+      Subql_workload.Zoo.queries
+  in
+  List.iteri
+    (fun i (na, fa) ->
+      List.iteri
+        (fun j (nb, fb) ->
+          if i < j then
+            let expect_equal =
+              List.mem (na, nb) same_query || List.mem (nb, na) same_query
+            in
+            if expect_equal then begin
+              if not (String.equal fa fb) then
+                Alcotest.failf "%s and %s should share a fingerprint" na nb
+            end
+            else if String.equal fa fb then
+              Alcotest.failf "%s and %s collide" na nb)
+        fps)
+    fps
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -194,5 +318,14 @@ let () =
         [
           Helpers.qtest ~count:400 "all engines agree" gen_case engines_agree;
           Helpers.qtest ~count:400 "sql render/parse round trip" gen_case roundtrip;
+        ] );
+      ( "fingerprints",
+        [
+          Helpers.qtest ~count:300 "invariant under alpha-renaming" gen_case
+            fp_alpha_invariant;
+          Helpers.qtest ~count:300 "invariant under commutation" gen_case
+            fp_commute_invariant;
+          Alcotest.test_case "zoo queries stay distinct" `Quick
+            zoo_fingerprints_distinct;
         ] );
     ]
