@@ -339,6 +339,72 @@ let batch_cmd =
       const run $ data_arg $ workload_arg $ flows_arg $ users_arg $ scale_arg $ seed_arg
       $ file_arg $ repeat_arg $ min_cost_arg)
 
+let analyze_cmd =
+  let sql_opt_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL"
+           ~doc:"The query to analyze (omit when using $(b,--zoo)).")
+  in
+  let zoo_arg =
+    Arg.(value & opt (some string) None & info [ "zoo" ] ~docv:"NAME"
+           ~doc:"Analyze a query-zoo template by name, or $(b,all) for the whole zoo \
+                 (over the deterministic O/I/J database).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the reports as a JSON array.")
+  in
+  let no_verify_arg =
+    Arg.(value & flag & info [ "no-verify" ]
+           ~doc:"Skip the rewrite verifier (typing and lints only).")
+  in
+  let run data workload flows users scale seed zoo json no_verify sql =
+    let targets, catalog =
+      match zoo, sql with
+      | Some "all", _ ->
+        Subql_workload.Zoo.queries, Subql_workload.Zoo.catalog ()
+      | Some name, _ ->
+        [ (name, Subql_workload.Zoo.find_query name) ], Subql_workload.Zoo.catalog ()
+      | None, Some sql ->
+        let stmt = parse_sql sql in
+        ( [ ("query", stmt.Subql_sql.Parser.query) ],
+          resolve_catalog data workload flows users scale seed )
+      | None, None -> failwith "pass a SQL query or --zoo NAME|all"
+    in
+    if not no_verify then Subql_analysis.Verify.install_optimizer_check catalog;
+    let reports =
+      Fun.protect
+        ~finally:(fun () ->
+          if not no_verify then Subql_analysis.Verify.clear_optimizer_check ())
+        (fun () ->
+          List.map
+            (fun (label, query) ->
+              Subql_analysis.Analyze.analyze_query catalog ~label query)
+            targets)
+    in
+    if json then
+      print_endline
+        (Subql_obs.Json.to_string
+           (Subql_obs.Json.List
+              (List.map Subql_analysis.Analyze.report_to_json reports)))
+    else
+      List.iter
+        (fun r -> Format.printf "%a@." Subql_analysis.Analyze.pp_report r)
+        reports;
+    let errors =
+      List.fold_left (fun n r -> n + Subql_analysis.Analyze.errors r) 0 reports
+    in
+    if errors > 0 then begin
+      Format.eprintf "analyze: %d error-severity diagnostic(s)@." errors;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Static analysis of a query's plans: schema/type checking, nullability \
+             dataflow, rewrite verification, and lint rules")
+    Term.(
+      const run $ data_arg $ workload_arg $ flows_arg $ users_arg $ scale_arg $ seed_arg
+      $ zoo_arg $ json_arg $ no_verify_arg $ sql_opt_arg)
+
 let bench_note_cmd =
   let run () =
     print_endline "The figure-reproduction harness lives in a separate executable:";
@@ -349,4 +415,7 @@ let bench_note_cmd =
 let () =
   let doc = "Subquery evaluation with GMDJs (Akinde & Böhlen, ICDE 2003)" in
   let info = Cmd.info "olap_cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; run_cmd; batch_cmd; explain_cmd; bench_note_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; run_cmd; batch_cmd; explain_cmd; analyze_cmd; bench_note_cmd ]))

@@ -1,0 +1,43 @@
+(** The analysis driver: everything the static analyzer knows about one
+    query, in one report.
+
+    [analyze_query] runs the full pipeline — query-shape lints,
+    translation, typing of the raw plan, optimization under the rewrite
+    verifier, typing of the optimized plan, plan-shape lints — and
+    returns the sorted union of every diagnostic, together with the
+    final schema and nullability vector.  This is the engine behind the
+    CLI's [analyze] command and the CI gate in [scripts/check.sh]. *)
+
+open Subql_relational
+
+type report = {
+  label : string;
+  diags : Diag.t list;  (** sorted, duplicate-free *)
+  schema : Schema.t option;  (** of the optimized plan; [None] on fatal error *)
+  nulls : Nullability.t array option;
+  plan : Subql.Algebra.t option;  (** the optimized plan that was analyzed *)
+}
+
+val analyze_plan : Typing.env -> label:string -> Subql.Algebra.t -> report
+(** Typing + plan lints over an already-built plan (no translation, no
+    rewriting). *)
+
+val analyze_query :
+  ?flags:Subql.Optimize.flags ->
+  Catalog.t ->
+  label:string ->
+  Subql_nested.Nested_ast.query ->
+  report
+(** The full pipeline.  A {!Subql.Transform.Unsupported} translation
+    failure is reported as a [TRF001] error, not an exception. *)
+
+val errors : report -> int
+
+val warnings : report -> int
+
+val report_to_json : report -> Subql_obs.Json.t
+(** Machine-readable form: label, counts, the diagnostic list (severity,
+    code, path, subject, message), schema and nullability rendering. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Human-readable: one line per diagnostic, then a summary line. *)

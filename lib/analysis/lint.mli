@@ -1,0 +1,33 @@
+(** The lint-rule engine: plan-shape and query-shape findings that are
+    not errors but deserve eyes.
+
+    Plan rules (over the algebra):
+    - [LNT001] {e cartesian product}: a [Product] survived optimization
+      — no conjunct tied its sides together, so cost is the full cross
+      product;
+    - [LNT002] {e uncoalesced GMDJs}: adjacent GMDJs range over the same
+      detail occurrence; Prop. 4.1 coalescing would evaluate them in a
+      single detail scan;
+    - [LNT003] {e dead projected column}: an interior projection emits a
+      column no ancestor ever reads.
+
+    Query rules (over the nested AST):
+    - [LNT004] {e non-neighboring correlation}: a subquery references an
+      alias beyond its immediately enclosing scope, forcing the base
+      push-down of Thms 3.3/3.4 (informational — the translation
+      handles it, but the plan reader should know why the base-values
+      expression widened);
+    - [NUL001] {e the NOT IN trap}: NOT IN / ALL over a subquery column
+      that may be NULL — one NULL makes the predicate unknown for every
+      outer row, silently emptying the result under 3VL. *)
+
+open Subql_relational
+
+val plan_lints : Subql.Algebra.t -> Diag.t list
+(** [LNT001]–[LNT003] over a plan.  Sorted. *)
+
+val query_lints : Typing.env -> Subql_nested.Nested_ast.query -> Diag.t list
+(** [LNT004] and [NUL001] over a nested query.  [NUL001] consults the
+    environment for the subquery column's nullability and respects
+    explicit [IS NOT NULL] filters in the subquery's WHERE clause.
+    Sorted. *)

@@ -1,0 +1,12 @@
+type t = Non_null | Maybe_null | Always_null
+
+let lub a b = if a = b then a else Maybe_null
+
+let leq x y = y = Maybe_null || x = y
+
+let to_string = function
+  | Non_null -> "non-null"
+  | Maybe_null -> "maybe-null"
+  | Always_null -> "always-null"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,28 @@
+(** The per-column nullability lattice of the static analyzer.
+
+    Three points ordered by information: [Non_null] and [Always_null]
+    are incomparable facts, [Maybe_null] is "don't know" (top).  The
+    dataflow computes one point per output column of a plan; the rewrite
+    verifier then demands that rewrites only move {e down} this order
+    (never claim less than was known before — see {!leq}).
+
+    The lattice is what makes the paper's counting translations
+    certifiable: GMDJ count columns are provably [Non_null] (an empty
+    range yields count 0, not NULL), so the count-based conditions of
+    Table 1 never hit 3VL surprises. *)
+
+type t = Non_null | Maybe_null | Always_null
+
+val lub : t -> t -> t
+(** Least upper bound: equal points join to themselves, anything else to
+    [Maybe_null]. *)
+
+val leq : t -> t -> bool
+(** [leq x y]: is [x] at least as precise as [y]?  True iff
+    [y = Maybe_null] or [x = y].  A rewrite from nullability [n] to [n']
+    is sound when [leq n' n] holds pointwise — it may only {e narrow}. *)
+
+val to_string : t -> string
+(** ["non-null"], ["maybe-null"], ["always-null"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+(** Schema, type and nullability inference over algebra plans.
+
+    One bottom-up walk computes, for every plan node, the output schema
+    {e and} a {!Nullability.t} per output column, while collecting
+    structured diagnostics ({!Subql_relational.Diag.t}) instead of
+    raising.  The walk is a strict superset of
+    {!Subql.Algebra.schema_diag}: where the evaluator-facing inference
+    only resolves schemas, this one additionally
+
+    - typechecks every predicate ([Select], join conditions, GMDJ θs,
+      completion rules) in its frame ([TYP001]/[TYP002], [SCH001]/
+      [SCH002]);
+    - checks aggregate arguments ([TYP003]);
+    - runs the nullability dataflow: table columns start from observed
+      instance nullability, selections narrow columns their satisfied
+      comparisons prove non-NULL, outer joins widen the inner side,
+      GMDJ/GROUP BY count columns are {e provably non-NULL} while
+      SUM/MIN/MAX/AVG columns may be NULL (empty or all-NULL range) —
+      the fact that certifies the Table 1 counting translations;
+    - flags counting conditions over possibly-NULL aggregate columns
+      ([NUL002]): a selection conjunct above a GMDJ that reads a
+      SUM/MIN/MAX/AVG column {e without} a COUNT guard in the same
+      conjunct — the Table 1 translations are certified NULL-sound
+      exactly because every value-aggregate comparison they emit is
+      disjoined with a count test that decides the empty-range case
+      first. *)
+
+open Subql_relational
+
+type env = {
+  lookup : string -> Schema.t;  (** base-table schema resolution *)
+  table_nulls : string -> Nullability.t array;
+      (** per-column nullability of a base table, positionally *)
+}
+
+val env_of_catalog : Catalog.t -> env
+(** Instance-based environment: a column is [Non_null] when no row of
+    the current relation holds NULL in it (the catalog carries no
+    NOT NULL declarations, so the instance is the best static
+    knowledge available). *)
+
+type verdict = {
+  schema : Schema.t option;  (** [None] when inference failed fatally *)
+  nulls : Nullability.t array option;  (** positional, same arity as schema *)
+  diags : Diag.t list;  (** sorted ({!Diag.sort}); includes any fatal error *)
+}
+
+val infer : env -> Subql.Algebra.t -> verdict
+(** Analyze a plan.  A fatal schema failure (unknown table/column …)
+    yields [schema = None] but still reports every diagnostic collected
+    up to that point. *)
+
+val expr_nulls : (Schema.t * Nullability.t array) array -> Expr.t -> Nullability.t
+(** Nullability of an expression under frames (outermost first,
+    references resolve innermost-first like {!Expr.compile_frames}).
+    Conservative: [Maybe_null] whenever NULL cannot be ruled out. *)

@@ -26,54 +26,133 @@ type t =
   | Diff_all of t * t
   | Distinct of t
 
-let rec schema_of ~lookup = function
-  | Table name -> lookup name
-  | Rename (alias, x) -> Schema.rename_rel alias (schema_of ~lookup x)
-  | Select (_, x) | Distinct x -> schema_of ~lookup x
+(* Schema inference.
+
+   [schema_diag] is the primary implementation: failures come back as a
+   structured {!Diag.t} carrying the plan path of the offending node
+   instead of a bare exception.  [schema_of] is the legacy wrapper that
+   re-raises the historical exceptions. *)
+
+let ( let* ) = Result.bind
+
+let node_label = function
+  | Table _ -> "Table"
+  | Rename _ -> "Rename"
+  | Select _ -> "Select"
+  | Project _ -> "Project"
+  | Project_cols _ -> "ProjectCols"
+  | Project_rel _ -> "ProjectRel"
+  | Add_rownum _ -> "AddRownum"
+  | Product _ -> "Product"
+  | Join _ -> "Join"
+  | Group_by _ -> "GroupBy"
+  | Aggregate_all _ -> "AggregateAll"
+  | Md _ -> "Md"
+  | Md_completed _ -> "MdCompleted"
+  | Union_all _ -> "UnionAll"
+  | Diff_all _ -> "DiffAll"
+  | Distinct _ -> "Distinct"
+
+(* Convert the exceptions the node-local schema operations may raise into
+   diagnostics located at [path]. *)
+let guard ~path f =
+  try f () with
+  | Catalog.Unknown_table t ->
+    Error (Diag.error ~path ~subject:t ~code:"SCH004" ("unknown table " ^ t))
+  | Schema.Unknown_attribute a ->
+    Error (Diag.error ~path ~subject:a ~code:"SCH001" ("unknown attribute " ^ a))
+  | Schema.Ambiguous_attribute a ->
+    Error (Diag.error ~path ~subject:a ~code:"SCH002" ("ambiguous attribute " ^ a))
+  | Invalid_argument m -> Error (Diag.error ~path ~code:"SCH003" m)
+  | Value.Type_error m -> Error (Diag.error ~path ~code:"TYP002" m)
+
+let rec schema_d ~lookup rev_path alg =
+  let rev_path = node_label alg :: rev_path in
+  let path = List.rev rev_path in
+  let sub slot x =
+    schema_d ~lookup (match slot with "" -> rev_path | s -> s :: rev_path) x
+  in
+  match alg with
+  | Table name -> guard ~path (fun () -> Ok (lookup name))
+  | Rename (alias, x) ->
+    let* s = sub "" x in
+    Ok (Schema.rename_rel alias s)
+  | Select (_, x) | Distinct x -> sub "" x
   | Project (exprs, x) ->
-    let s = schema_of ~lookup x in
-    Schema.of_list
-      (List.map
-         (fun (e, name) ->
-           let ty = match Expr.infer [| s |] e with Some ty -> ty | None -> Value.Tint in
-           Schema.attr name ty)
-         exprs)
-  | Project_cols { cols; input; _ } ->
-    let s = schema_of ~lookup input in
-    let idxs = Array.of_list (List.map (fun (rel, name) -> Schema.find s ?rel name) cols) in
-    Schema.project s idxs
-  | Project_rel (aliases, x) ->
-    let s = schema_of ~lookup x in
-    let keep = List.filter (fun a -> List.mem a.Schema.rel aliases) (Schema.to_list s) in
-    Schema.of_list keep
-  | Add_rownum (name, x) ->
-    Schema.concat (schema_of ~lookup x) [| Schema.attr name Value.Tint |]
-  | Product (l, r) -> Schema.concat (schema_of ~lookup l) (schema_of ~lookup r)
-  | Join { kind; left; right; _ } -> (
-    let ls = schema_of ~lookup left in
-    match kind with
-    | Inner | Left_outer -> Schema.concat ls (schema_of ~lookup right)
-    | Semi | Anti -> ls)
-  | Group_by { keys; aggs; input } ->
-    let s = schema_of ~lookup input in
-    let idxs = Array.of_list (List.map (fun (rel, name) -> Schema.find s ?rel name) keys) in
-    let key_schema = Schema.project s idxs in
-    let agg_attrs =
-      List.map
-        (fun spec -> Schema.attr spec.Aggregate.name (Aggregate.output_ty [| s |] spec))
-        aggs
+    let* s = sub "" x in
+    let* attrs =
+      List.fold_left
+        (fun acc (e, name) ->
+          let* acc = acc in
+          let* ty = Expr.infer_diag ~path [| s |] e in
+          let ty = match ty with Some ty -> ty | None -> Value.Tint in
+          Ok (Schema.attr name ty :: acc))
+        (Ok []) exprs
     in
-    Schema.concat key_schema (Schema.of_list agg_attrs)
+    guard ~path (fun () -> Ok (Schema.of_list (List.rev attrs)))
+  | Project_cols { cols; input; _ } ->
+    let* s = sub "" input in
+    guard ~path (fun () ->
+        let idxs =
+          Array.of_list (List.map (fun (rel, name) -> Schema.find s ?rel name) cols)
+        in
+        Ok (Schema.project s idxs))
+  | Project_rel (aliases, x) ->
+    let* s = sub "" x in
+    let keep = List.filter (fun a -> List.mem a.Schema.rel aliases) (Schema.to_list s) in
+    guard ~path (fun () -> Ok (Schema.of_list keep))
+  | Add_rownum (name, x) ->
+    let* s = sub "" x in
+    Ok (Schema.concat s [| Schema.attr name Value.Tint |])
+  | Product (l, r) ->
+    let* ls = sub "left" l in
+    let* rs = sub "right" r in
+    Ok (Schema.concat ls rs)
+  | Join { kind; left; right; _ } -> (
+    let* ls = sub "left" left in
+    match kind with
+    | Inner | Left_outer ->
+      let* rs = sub "right" right in
+      Ok (Schema.concat ls rs)
+    | Semi | Anti -> Ok ls)
+  | Group_by { keys; aggs; input } ->
+    let* s = sub "" input in
+    guard ~path (fun () ->
+        let idxs =
+          Array.of_list (List.map (fun (rel, name) -> Schema.find s ?rel name) keys)
+        in
+        let key_schema = Schema.project s idxs in
+        let agg_attrs =
+          List.map
+            (fun spec -> Schema.attr spec.Aggregate.name (Aggregate.output_ty [| s |] spec))
+            aggs
+        in
+        Ok (Schema.concat key_schema (Schema.of_list agg_attrs)))
   | Aggregate_all (aggs, x) ->
-    let s = schema_of ~lookup x in
-    Schema.of_list
-      (List.map
-         (fun spec -> Schema.attr spec.Aggregate.name (Aggregate.output_ty [| s |] spec))
-         aggs)
+    let* s = sub "" x in
+    guard ~path (fun () ->
+        Ok
+          (Schema.of_list
+             (List.map
+                (fun spec ->
+                  Schema.attr spec.Aggregate.name (Aggregate.output_ty [| s |] spec))
+                aggs)))
   | Md { base; detail; blocks } | Md_completed { base; detail; blocks; _ } ->
-    Gmdj.output_schema ~base:(schema_of ~lookup base) ~detail:(schema_of ~lookup detail)
-      blocks
-  | Union_all (l, _) | Diff_all (l, _) -> schema_of ~lookup l
+    let* bs = sub "base" base in
+    let* ds = sub "detail" detail in
+    guard ~path (fun () -> Ok (Gmdj.output_schema ~base:bs ~detail:ds blocks))
+  | Union_all (l, _) | Diff_all (l, _) -> sub "left" l
+
+let schema_diag ~lookup alg = schema_d ~lookup [] alg
+
+let schema_of ~lookup alg =
+  match schema_diag ~lookup alg with
+  | Ok s -> s
+  | Error d when d.Diag.code = "SCH004" ->
+    raise
+      (Catalog.Unknown_table
+         (match d.Diag.subject with Some t -> t | None -> d.Diag.message))
+  | Error d -> Expr.raise_diag d
 
 let equal_blocks b1 b2 =
   List.length b1 = List.length b2

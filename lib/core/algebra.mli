@@ -42,6 +42,16 @@ type t =
 val schema_of : lookup:(string -> Schema.t) -> t -> Schema.t
 (** Output schema; [lookup] resolves base-table names. *)
 
+val schema_diag : lookup:(string -> Schema.t) -> t -> (Schema.t, Diag.t) result
+(** Exception-free {!schema_of}: inference failures come back as a
+    structured diagnostic ([SCH001]–[SCH004], [TYP001]/[TYP002]) whose
+    [path] names the offending plan node — the entry point the static
+    analyzer builds on.  [schema_of] is this plus re-raising the legacy
+    exception. *)
+
+val node_label : t -> string
+(** The operator name used in diagnostic plan paths ("Select", "Md", …). *)
+
 val equal : t -> t -> bool
 (** Structural equality. *)
 

@@ -28,6 +28,54 @@ let set_result_cache hooks = result_cache := Some hooks
 
 let clear_result_cache () = result_cache := None
 
+(* --- Self-check gate -------------------------------------------------- *)
+
+type plan_verifier =
+  Catalog.t -> Subql_nested.Nested_ast.query -> label:string -> Algebra.t -> Diag.t list
+
+let plan_verifier : plan_verifier option ref = ref None
+
+let self_check = ref false
+
+let set_plan_verifier f = plan_verifier := Some f
+
+let clear_plan_verifier () = plan_verifier := None
+
+let set_self_check on = self_check := on
+
+let self_check_enabled () = !self_check
+
+(* Drop candidates the verifier finds unsound.  Every candidate set
+   contains the GMDJ reference translation, which is sound by
+   construction, so an empty survivor set means the verifier itself
+   disagrees with the translation — that is a bug worth failing loudly. *)
+let gate catalog query plans =
+  match !plan_verifier with
+  | Some verify when !self_check ->
+    let sound, unsound =
+      List.partition
+        (fun (label, plan) -> not (Diag.has_errors (verify catalog query ~label plan)))
+        plans
+    in
+    List.iter
+      (fun (label, _) ->
+        Subql_obs.Metrics.incr
+          (Subql_obs.Metrics.counter Subql_obs.Metrics.default
+             ("planner.self_check.rejected." ^ label)))
+      unsound;
+    (match sound, unsound with
+    | [], (label, plan) :: _ ->
+      let diags = verify catalog query ~label plan in
+      let d =
+        match List.filter Diag.is_error diags with
+        | d :: _ -> d
+        | [] -> Diag.error ~code:"VER000" "planner self-check rejected every candidate"
+      in
+      raise (Diag.Fail d)
+    | _ -> ());
+    sound
+  | _ -> plans
+
 let candidates ?(config = Eval.default_config) catalog query =
   let stats = Cost.Stats.of_catalog catalog in
   let gmdj = Optimize.optimize (Transform.to_algebra query) in
@@ -42,7 +90,7 @@ let candidates ?(config = Eval.default_config) catalog query =
         maybe "outerjoin-unnest" (!outerjoin_provider catalog query);
       ]
   in
-  plans
+  gate catalog query plans
   |> List.map (fun (label, plan) ->
          { label; plan; estimate = Cost.estimate stats ~config plan })
   |> List.sort (fun a b -> Float.compare a.estimate.Cost.cost b.estimate.Cost.cost)

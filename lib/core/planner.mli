@@ -85,3 +85,26 @@ val set_result_cache : result_cache -> unit
 
 val clear_result_cache : unit -> unit
 (** Detach the cache; subsequent runs plan and evaluate normally. *)
+
+type plan_verifier =
+  Catalog.t -> Subql_nested.Nested_ast.query -> label:string -> Algebra.t -> Diag.t list
+(** A plan soundness check: given the source query and a candidate plan,
+    return diagnostics (errors mean "reject this plan").
+    [Subql_analysis.Verify] registers one that re-runs schema and
+    nullability inference over the candidate. *)
+
+val set_plan_verifier : plan_verifier -> unit
+(** Install the verifier used by the self-check gate. *)
+
+val clear_plan_verifier : unit -> unit
+
+val set_self_check : bool -> unit
+(** Enable/disable the planner self-check gate (off by default).  When
+    on and a verifier is installed, {!candidates} drops every candidate
+    whose verification reports an error-severity diagnostic — counted in
+    the ["planner.self_check.rejected.<label>"] metrics — and raises
+    {!Diag.Fail} if no candidate survives (the GMDJ reference
+    translation is sound by construction, so an empty survivor set is an
+    analyzer/translator disagreement, not a user error). *)
+
+val self_check_enabled : unit -> bool

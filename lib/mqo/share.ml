@@ -215,9 +215,18 @@ let rec build_group catalog cands =
       List.map
         (fun (c, map, _) ->
           let plan = rewrite_above ~target:c.md ~combined map c.shareable in
+          (* The merge claims plan ≡ solo_plan: the exact schema must be
+             preserved and the static verifier must agree (same inferred
+             schema, nullability at most narrowed, no fresh type
+             errors) before the member may join the group. *)
           let ok =
-            try Schema.equal (Eval.schema catalog plan) (Eval.schema catalog c.solo_plan)
-            with _ -> false
+            (try Schema.equal (Eval.schema catalog plan) (Eval.schema catalog c.solo_plan)
+             with _ -> false)
+            && not
+                 (Diag.has_errors
+                    (Subql_analysis.Verify.check_rewrite
+                       (Subql_analysis.Typing.env_of_catalog catalog)
+                       ~label:"mqo.share" ~before:c.solo_plan ~after:plan))
           in
           (c, plan, ok))
         prepared

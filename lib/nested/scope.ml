@@ -43,3 +43,19 @@ let free_aliases_sub s = collect_sub [] [] s
 
 let non_neighboring ~enclosing s =
   List.filter (fun a -> not (List.mem a enclosing)) (free_aliases_sub s)
+
+let non_neighboring_subs q =
+  let rec walk enclosing acc p =
+    match p with
+    | Ptrue | Atom _ -> acc
+    | Pand (a, b) | Por (a, b) -> walk enclosing (walk enclosing acc a) b
+    | Pnot a -> walk enclosing acc a
+    | Sub s ->
+      let acc =
+        match non_neighboring ~enclosing s with
+        | [] -> acc
+        | aliases -> acc @ [ (s.s_alias, aliases) ]
+      in
+      walk [ s.s_alias ] acc s.s_where
+  in
+  walk (scope_aliases q) [] q.q_where

@@ -25,3 +25,11 @@ val non_neighboring : enclosing:string list -> Nested_ast.sub -> string list
 (** Free aliases of the subquery outside [enclosing] (the aliases of the
     immediately enclosing scope) — the aliases that make its correlation
     predicates non-neighboring. *)
+
+val non_neighboring_subs : Nested_ast.query -> (string * string list) list
+(** Every subquery (at any nesting depth) of the query's WHERE clause
+    with non-neighboring correlation, as [(subquery alias, skipping
+    aliases)] pairs in pre-order.  Empty for queries the neighboring-only
+    translation (Thm 3.1/3.2) handles without push-down; non-empty means
+    Thms 3.3/3.4 base push-down is required — the lint layer reports
+    these so the plan reader knows why the base was widened. *)

@@ -172,20 +172,44 @@ let resolve_exn frames (rel, name) =
 let refs_resolvable frames e =
   List.for_all (fun r -> resolve frames r <> None) (attrs e)
 
-(* Typing *)
+(* Typing.
 
-let unify_numeric op a b =
+   [infer_diag] is the primary implementation: it returns a structured
+   {!Diag.t} instead of raising, so analysis passes can collect several
+   findings and keep going.  The legacy [infer] / [typecheck_bool]
+   wrappers re-raise the historical exceptions ([Value.Type_error],
+   [Schema.Unknown_attribute], [Schema.Ambiguous_attribute]) for the
+   evaluation paths that still want failure-by-exception. *)
+
+let ( let* ) = Result.bind
+
+let type_diag ?path ?subject ~code fmt =
+  Format.kasprintf (fun m -> Error (Diag.error ?path ?subject ~code m)) fmt
+
+let resolve_diag ~path frames (rel, name) =
+  match resolve frames (rel, name) with
+  | Some slot -> Ok slot
+  | None ->
+    let shown = match rel with None -> name | Some r -> r ^ "." ^ name in
+    type_diag ~path ~subject:shown ~code:"SCH001" "unknown attribute %s" shown
+  | exception Schema.Ambiguous_attribute shown ->
+    type_diag ~path ~subject:shown ~code:"SCH002" "ambiguous attribute %s" shown
+
+let unify_numeric_diag ~path op a b =
   match a, b with
   | None, other | other, None -> (
     match other with
-    | None -> None
-    | Some (Value.Tint | Value.Tfloat) -> other
-    | Some ty -> Value.type_error "arithmetic %s on non-numeric type %s" op (Value.ty_to_string ty))
-  | Some Value.Tint, Some Value.Tint -> Some Value.Tint
-  | Some (Value.Tint | Value.Tfloat), Some (Value.Tint | Value.Tfloat) -> Some Value.Tfloat
+    | None -> Ok None
+    | Some (Value.Tint | Value.Tfloat) -> Ok other
+    | Some ty ->
+      type_diag ~path ~code:"TYP002" "arithmetic %s on non-numeric type %s" op
+        (Value.ty_to_string ty))
+  | Some Value.Tint, Some Value.Tint -> Ok (Some Value.Tint)
+  | Some (Value.Tint | Value.Tfloat), Some (Value.Tint | Value.Tfloat) ->
+    Ok (Some Value.Tfloat)
   | Some ty, Some ty' ->
-    Value.type_error "arithmetic %s on types %s and %s" op (Value.ty_to_string ty)
-      (Value.ty_to_string ty')
+    type_diag ~path ~code:"TYP002" "arithmetic %s on types %s and %s" op
+      (Value.ty_to_string ty) (Value.ty_to_string ty')
 
 let comparable a b =
   match a, b with
@@ -195,43 +219,87 @@ let comparable a b =
   | Some Value.Tbool, Some Value.Tbool -> true
   | Some _, Some _ -> false
 
-let require_bool context = function
-  | None | Some Value.Tbool -> ()
-  | Some ty -> Value.type_error "%s: expected boolean, got %s" context (Value.ty_to_string ty)
+let require_bool_diag ~path context = function
+  | None | Some Value.Tbool -> Ok ()
+  | Some ty ->
+    type_diag ~path ~code:"TYP001" "%s: expected boolean, got %s" context
+      (Value.ty_to_string ty)
 
-let rec infer frames e =
+let rec infer_d ~path frames e =
   match e with
-  | Const v -> Value.ty_of v
+  | Const v -> Ok (Value.ty_of v)
   | Attr (rel, name) ->
-    let fi, pos = resolve_exn frames (rel, name) in
-    Some (Schema.attr_at frames.(fi) pos).Schema.ty
+    let* fi, pos = resolve_diag ~path frames (rel, name) in
+    Ok (Some (Schema.attr_at frames.(fi) pos).Schema.ty)
   | Cmp (op, a, b) ->
-    let ta = infer frames a and tb = infer frames b in
+    let* ta = infer_d ~path frames a in
+    let* tb = infer_d ~path frames b in
     if not (comparable ta tb) then
-      Value.type_error "comparison %s between incompatible types" (cmp_to_string op);
-    Some Value.Tbool
+      type_diag ~path ~code:"TYP002" "comparison %s between incompatible types"
+        (cmp_to_string op)
+    else Ok (Some Value.Tbool)
   | Null_safe_eq (a, b) ->
-    let ta = infer frames a and tb = infer frames b in
-    if not (comparable ta tb) then Value.type_error "null-safe = between incompatible types";
-    Some Value.Tbool
+    let* ta = infer_d ~path frames a in
+    let* tb = infer_d ~path frames b in
+    if not (comparable ta tb) then
+      type_diag ~path ~code:"TYP002" "null-safe = between incompatible types"
+    else Ok (Some Value.Tbool)
   | And (a, b) | Or (a, b) ->
-    require_bool "and/or" (infer frames a);
-    require_bool "and/or" (infer frames b);
-    Some Value.Tbool
+    let* ta = infer_d ~path frames a in
+    let* () = require_bool_diag ~path "and/or" ta in
+    let* tb = infer_d ~path frames b in
+    let* () = require_bool_diag ~path "and/or" tb in
+    Ok (Some Value.Tbool)
   | Not a | Is_true a ->
-    require_bool "not/is-true" (infer frames a);
-    Some Value.Tbool
+    let* ta = infer_d ~path frames a in
+    let* () = require_bool_diag ~path "not/is-true" ta in
+    Ok (Some Value.Tbool)
   | Arith (op, a, b) ->
     let name =
       match op with Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
     in
-    unify_numeric name (infer frames a) (infer frames b)
-  | Neg a -> unify_numeric "unary -" (infer frames a) (Some Value.Tint)
+    let* ta = infer_d ~path frames a in
+    let* tb = infer_d ~path frames b in
+    unify_numeric_diag ~path name ta tb
+  | Neg a ->
+    let* ta = infer_d ~path frames a in
+    unify_numeric_diag ~path "unary -" ta (Some Value.Tint)
   | Is_null a | Is_not_null a ->
-    ignore (infer frames a);
-    Some Value.Tbool
+    let* _ = infer_d ~path frames a in
+    Ok (Some Value.Tbool)
 
-let typecheck_bool frames e = require_bool "predicate" (infer frames e)
+let infer_diag ?(path = []) frames e = infer_d ~path frames e
+
+let typecheck_bool_diag ?(path = []) frames e =
+  match
+    let* ty = infer_d ~path frames e in
+    require_bool_diag ~path "predicate" ty
+  with
+  | Ok () -> []
+  | Error d -> [ d ]
+
+(* The legacy exception corresponding to a diagnostic this module (or the
+   plan-schema inference built on it) produced. *)
+let raise_diag (d : Diag.t) : 'a =
+  let subject = match d.Diag.subject with Some s -> s | None -> d.Diag.message in
+  match d.Diag.code with
+  | "SCH001" -> raise (Schema.Unknown_attribute subject)
+  | "SCH002" -> raise (Schema.Ambiguous_attribute subject)
+  | "SCH003" -> invalid_arg d.Diag.message
+  | code when String.length code >= 3 && String.sub code 0 3 = "TYP" ->
+    raise (Value.Type_error d.Diag.message)
+  | _ -> raise (Diag.Fail d)
+
+let infer frames e =
+  match infer_d ~path:[] frames e with Ok ty -> ty | Error d -> raise_diag d
+
+let typecheck_bool frames e =
+  match
+    let* ty = infer_d ~path:[] frames e in
+    require_bool_diag ~path:[] "predicate" ty
+  with
+  | Ok () -> ()
+  | Error d -> raise_diag d
 
 (* Compilation *)
 

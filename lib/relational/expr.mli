@@ -91,8 +91,26 @@ val infer : Schema.t array -> t -> Value.ty option
     (polymorphic).  @raise Value.Type_error on a type clash.
     @raise Schema.Unknown_attribute on an unresolvable reference. *)
 
+val infer_diag :
+  ?path:string list -> Schema.t array -> t -> (Value.ty option, Diag.t) result
+(** Exception-free {!infer}: typing failures come back as a structured
+    diagnostic ([SCH001] unknown attribute, [SCH002] ambiguous
+    attribute, [TYP001] non-boolean operand, [TYP002] operand type
+    clash) carrying [path] as its plan location. *)
+
 val typecheck_bool : Schema.t array -> t -> unit
 (** Assert the expression is boolean-typed (or NULL). *)
+
+val typecheck_bool_diag : ?path:string list -> Schema.t array -> t -> Diag.t list
+(** Exception-free {!typecheck_bool}: [[]] when the expression is a
+    well-typed predicate, a singleton diagnostic otherwise. *)
+
+val raise_diag : Diag.t -> 'a
+(** Raise the legacy exception a diagnostic stands for
+    ({!Schema.Unknown_attribute} / {!Schema.Ambiguous_attribute} /
+    {!Value.Type_error} / [Invalid_argument]), or {!Diag.Fail} for codes
+    with no legacy equivalent — the bridge the historical entry points
+    use now that the structured path is primary. *)
 
 val refs_resolvable : Schema.t array -> t -> bool
 (** Do all attribute references resolve in the given frames? *)

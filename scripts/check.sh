@@ -69,6 +69,32 @@ echo "$bout" | grep -q "cache: 3 hits, 0 misses" || {
 }
 
 echo
+echo "== static analysis: every zoo template must be diagnostic-error-free =="
+# analyze exits non-zero if any template yields an error-severity
+# diagnostic (the optimizer self-check is live during the run).
+dune exec bin/olap_cli.exe -- analyze --zoo all
+
+echo
+echo "== static analysis: --json output stays machine-readable =="
+analyze_json=$(mktemp /tmp/check_analyze_XXXXXX.json)
+dune exec bin/olap_cli.exe -- analyze --zoo all --json > "$analyze_json"
+ANALYZE_JSON="$analyze_json" python3 - <<'PY'
+import json, os, sys
+with open(os.environ["ANALYZE_JSON"]) as f:
+    reports = json.load(f)
+if len(reports) < 20:
+    sys.exit(f"FAIL: expected a report per zoo template, got {len(reports)}")
+for r in reports:
+    for key in ("label", "errors", "warnings", "diagnostics"):
+        if key not in r:
+            sys.exit(f"FAIL: analyze --json report missing key {key!r}")
+    if r["errors"] != 0:
+        sys.exit(f"FAIL: template {r['label']!r} has error diagnostics")
+print(f"analyze --json: {len(reports)} reports, all error-free")
+PY
+rm -f "$analyze_json"
+
+echo
 echo "== bench smoke test: mqo target keeps BENCH_mqo.json well-formed =="
 dune exec bench/main.exe -- mqo > /dev/null
 python3 - <<'PY'

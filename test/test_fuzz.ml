@@ -282,6 +282,48 @@ let fp_commute_invariant (query, _db) =
     false
   end
 
+(* --- Analyzer invariance under optimization ------------------------- *)
+
+(* Whatever subset of rewrites fires, the analyzer's verdict must not
+   degrade: an error-free translation stays error-free, the schema is
+   unchanged, and per-column nullability only narrows (Nullability.leq
+   pointwise).  The database varies too, so the instance-derived base
+   nullability the dataflow starts from is itself fuzzed. *)
+let gen_flags =
+  let* coalesce = QCheck2.Gen.bool in
+  let* pushdown = QCheck2.Gen.bool in
+  let* completion = QCheck2.Gen.bool in
+  G.return (Subql.Optimize.only ~coalesce ~pushdown ~completion ())
+
+let gen_analysis_case = G.triple gen_query Query_zoo.db_gen gen_flags
+
+let analyzer_verdict_invariant (query, db, flags) =
+  let catalog = Query_zoo.mk_catalog db in
+  let env = Subql_analysis.Typing.env_of_catalog catalog in
+  let raw = Subql.Transform.to_algebra query in
+  let optimized = Subql.Optimize.optimize ~flags raw in
+  let v_raw = Subql_analysis.Typing.infer env raw in
+  let v_opt = Subql_analysis.Typing.infer env optimized in
+  let fail fmt =
+    Format.kasprintf
+      (fun msg ->
+        Format.eprintf "@.analyzer verdict drift (%s) on:@.%a@." msg N.pp_query query;
+        false)
+      fmt
+  in
+  match (v_raw, v_opt) with
+  | { Subql_analysis.Typing.schema = Some sa; nulls = Some na; diags = da },
+    { Subql_analysis.Typing.schema = Some sb; nulls = Some nb; diags = db } ->
+    if Diag.has_errors da then fail "raw plan has errors"
+    else if Diag.has_errors db then fail "optimized plan has errors"
+    else if not (Schema.equal_names sa sb) then fail "schema drift"
+    else if
+      not
+        (Array.for_all2 (fun after before -> Subql_analysis.Nullability.leq after before) nb na)
+    then fail "nullability widened"
+    else true
+  | _ -> fail "inference failed fatally"
+
 (* The zoo's queries are pairwise semantically different with one
    exception: "negated-some" (NOT (x ≤ SOME S)) and "all-gt-correlated"
    (x > ALL S) are the same query in two syntaxes — and the translation
@@ -318,6 +360,11 @@ let () =
         [
           Helpers.qtest ~count:400 "all engines agree" gen_case engines_agree;
           Helpers.qtest ~count:400 "sql render/parse round trip" gen_case roundtrip;
+        ] );
+      ( "analysis",
+        [
+          Helpers.qtest ~count:300 "analyzer verdict invariant under optimize"
+            gen_analysis_case analyzer_verdict_invariant;
         ] );
       ( "fingerprints",
         [
