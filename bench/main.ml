@@ -1,6 +1,6 @@
 (* Benchmark driver.
 
-   Usage: main.exe [fig2|fig3|fig4|fig5|fig5-noindex|ablation|micro|obs|mqo|all]
+   Usage: main.exe [fig2|fig3|fig4|fig5|fig5-noindex|ablation|micro|obs|mqo|exec|all]
                    [--full] [--budget F] [--seed N]
 
    Without --full the table sizes are one tenth of the paper's (the
@@ -89,6 +89,7 @@ let () =
     | "micro" -> micro ()
     | "obs" -> Figures.obs options
     | "mqo" -> Mqo_bench.run options
+    | "exec" -> Exec_bench.run options
     | other ->
       Format.eprintf "unknown target %s@." other;
       exit 2

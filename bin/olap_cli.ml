@@ -237,6 +237,11 @@ let run_cmd =
         Format.printf " (plan %s, q-error %.2f)" fb.Subql.Planner.candidate.Subql.Planner.label
           fb.Subql.Planner.q_error
       | None -> ());
+      let peak =
+        Subql_obs.Metrics.gauge_value
+          (Subql_obs.Metrics.gauge Subql_obs.Metrics.default "eval.peak_materialized_rows")
+      in
+      if peak > 0.0 then Format.printf ", peak %.0f materialized rows" peak;
       Format.printf "@."
     end;
     Option.iter
@@ -269,10 +274,14 @@ let explain_cmd =
       Format.printf "Classical join unnesting: not applicable (%s)@.@." reason);
     let catalog = resolve_catalog data workload flows users scale seed in
     Format.printf "Cost-based ranking over this catalog:@.";
+    let stats = Subql.Cost.Stats.of_catalog catalog in
     List.iter
       (fun c ->
-        Format.printf "  %-18s cost %12.0f, est. rows %8.0f@." c.Subql.Planner.label
-          c.Subql.Planner.estimate.Subql.Cost.cost c.Subql.Planner.estimate.Subql.Cost.rows)
+        Format.printf "  %-18s cost %12.0f, est. rows %8.0f, mem height %8.0f@."
+          c.Subql.Planner.label c.Subql.Planner.estimate.Subql.Cost.cost
+          c.Subql.Planner.estimate.Subql.Cost.rows
+          (Subql.Cost.memory_height stats ~config:Subql.Eval.default_config
+             c.Subql.Planner.plan))
       (Subql.Planner.candidates catalog query)
   in
   Cmd.v

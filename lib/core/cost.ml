@@ -231,3 +231,46 @@ let estimate stats ~config alg =
       }
   in
   (go alg).est
+
+(* Memory height: the estimated high-water mark of rows the streaming
+   executor holds materialized while running the plan — the planning-
+   time counterpart of the measured ["eval.peak_materialized_rows"]
+   gauge.  Streaming operators contribute nothing of their own; pipeline
+   breakers hold their materialized inputs and their output live at
+   once.  Whole-relation inputs the executor borrows zero-copy (a table,
+   an alias over a table) are free. *)
+let memory_height stats ~config alg =
+  let rows sub = (estimate stats ~config sub).rows in
+  (* Rows a breaker must hold to revisit this input; catalog-resident
+     relations pass through the origin shortcut without a copy. *)
+  let mat_rows sub =
+    match sub with
+    | Algebra.Table _ | Algebra.Rename (_, Algebra.Table _) -> 0.0
+    | _ -> rows sub
+  in
+  let rec h alg =
+    match alg with
+    | Algebra.Table _ -> 0.0
+    | Algebra.Rename (_, x)
+    | Algebra.Select (_, x)
+    | Algebra.Project (_, x)
+    | Algebra.Project_rel (_, x)
+    | Algebra.Add_rownum (_, x) ->
+      h x
+    | Algebra.Project_cols { distinct; input; _ } ->
+      if distinct then Float.max (h input) (rows alg) else h input
+    | Algebra.Distinct x -> Float.max (h x) (rows alg)
+    | Algebra.Group_by { input; _ } -> Float.max (h input) (rows alg)
+    | Algebra.Aggregate_all (_, x) -> Float.max (h x) 1.0
+    | Algebra.Union_all (l, r) -> Float.max (h l) (h r)
+    | Algebra.Product (l, r) | Algebra.Join { left = l; right = r; _ } | Algebra.Diff_all (l, r)
+      ->
+      let ml = mat_rows l and mr = mat_rows r in
+      Float.max (h l) (Float.max (ml +. h r) (ml +. mr +. rows alg))
+    | Algebra.Md { base; detail; _ } | Algebra.Md_completed { base; detail; _ } ->
+      (* The base side is materialized (|B| accumulators); the detail
+         side streams through, so only its own height counts. *)
+      let mb = mat_rows base in
+      Float.max (h base) (Float.max (mb +. h detail) (mb +. rows alg))
+  in
+  h alg

@@ -35,6 +35,15 @@ type estimate = {
 val estimate : Stats.t -> config:Eval.config -> Algebra.t -> estimate
 (** Estimate the given plan under the given physical configuration. *)
 
+val memory_height : Stats.t -> config:Eval.config -> Algebra.t -> float
+(** Estimated peak rows the streaming executor holds materialized while
+    running the plan — the planning-time counterpart of the measured
+    ["eval.peak_materialized_rows"] gauge.  Streaming operators (Select,
+    Project, Rename, Add_rownum, Union_all, the GMDJ detail side) add
+    nothing of their own; pipeline breakers charge their materialized
+    inputs plus their output; tables (and aliases over tables) are
+    zero-copy inputs and free.  Heuristic, like {!estimate}. *)
+
 val selectivity : Stats.t -> origins:(string * string) list -> Expr.t -> float
 (** Predicate selectivity.  [origins] maps relation aliases to base
     tables so equality on a column with a known distinct count can use

@@ -13,8 +13,9 @@ let unindexed_config = { join_strategy = `Nested_loop; gmdj_strategy = `Scan }
 let schema catalog alg =
   Algebra.schema_of ~lookup:(fun name -> Relation.schema (Catalog.find catalog name)) alg
 
-(* Evaluation is split into child enumeration and per-node application so
-   the plain and instrumented evaluators share one implementation. *)
+type source_provider = string -> Chunk.Source.t option
+
+type exec_report = { chunks : int; peak_materialized_rows : int }
 
 let children = function
   | Algebra.Table _ -> []
@@ -35,67 +36,6 @@ let children = function
   | Algebra.Union_all (l, r)
   | Algebra.Diff_all (l, r) ->
     [ l; r ]
-
-let apply ~config ?gmdj_stats catalog alg (kids : Relation.t list) =
-  match alg, kids with
-  | Algebra.Table name, [] -> Catalog.find catalog name
-  | Algebra.Rename (alias, _), [ x ] -> Relation.rename alias x
-  | Algebra.Select (e, _), [ x ] -> Ops.select e x
-  | Algebra.Project (exprs, _), [ x ] -> Ops.project exprs x
-  | Algebra.Project_cols { cols; distinct; _ }, [ x ] -> Ops.project_cols ~distinct cols x
-  | Algebra.Project_rel (aliases, _), [ x ] ->
-    let s = Relation.schema x in
-    let cols =
-      List.filter_map
-        (fun a ->
-          if List.mem a.Schema.rel aliases then Some (Some a.Schema.rel, a.Schema.name)
-          else None)
-        (Schema.to_list s)
-    in
-    Ops.project_cols cols x
-  | Algebra.Add_rownum (name, _), [ x ] -> Ops.add_rownum name x
-  | Algebra.Product _, [ l; r ] -> Ops.product l r
-  | Algebra.Join { kind; cond; _ }, [ l; r ] -> (
-    let strategy = config.join_strategy in
-    match kind with
-    | Algebra.Inner -> Ops.join ~strategy cond l r
-    | Algebra.Left_outer -> Ops.left_outer_join ~strategy cond l r
-    | Algebra.Semi -> Ops.semi_join ~strategy cond l r
-    | Algebra.Anti -> Ops.anti_join ~strategy cond l r)
-  | Algebra.Group_by { keys; aggs; _ }, [ x ] -> Ops.group_by ~keys ~aggs x
-  | Algebra.Aggregate_all (aggs, _), [ x ] -> Ops.aggregate_all aggs x
-  | Algebra.Md { blocks; _ }, [ base; detail ] ->
-    Gmdj.eval ~strategy:config.gmdj_strategy ?stats:gmdj_stats ~base ~detail blocks
-  | Algebra.Md_completed { blocks; completion; _ }, [ base; detail ] ->
-    Gmdj.eval_completed ~strategy:config.gmdj_strategy ?stats:gmdj_stats ~completion ~base
-      ~detail blocks
-  | Algebra.Union_all _, [ l; r ] -> Ops.union_all l r
-  | Algebra.Diff_all _, [ l; r ] -> Ops.diff_all l r
-  | Algebra.Distinct _, [ x ] -> Ops.distinct x
-  | _ -> invalid_arg "Eval.apply: child arity mismatch"
-
-let eval ?(config = default_config) ?gmdj_stats catalog alg =
-  let rec go alg = apply ~config ?gmdj_stats catalog alg (List.map go (children alg)) in
-  go alg
-
-let eval_with_overrides ?(config = default_config) ?gmdj_stats ~override catalog alg =
-  let rec go alg =
-    match override alg with
-    | Some result -> result
-    | None -> apply ~config ?gmdj_stats catalog alg (List.map go (children alg))
-  in
-  go alg
-
-(* ------------------------------------------------------------------ *)
-(* Instrumented evaluation                                              *)
-(* ------------------------------------------------------------------ *)
-
-type trace = {
-  label : string;
-  out_rows : int;
-  self_seconds : float;
-  children : trace list;
-}
 
 let node_label alg =
   let exprs es = String.concat ", " (List.map Expr.to_string es) in
@@ -130,6 +70,432 @@ let node_label alg =
   | Algebra.Diff_all _ -> "DiffAll"
   | Algebra.Distinct _ -> "Distinct"
 
+(* ------------------------------------------------------------------ *)
+(* The shared executor skeleton                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Every public entry point is a thin wrapper over one skeleton: a
+   single per-node [dispatch] (the only place operator semantics are
+   chosen) driven either lazily ([run_stream] — operators exchange
+   chunk streams, and only pipeline breakers materialize) or eagerly
+   ([run_eager] — every node is materialized so per-operator hooks can
+   observe cardinalities, timings and buffer-pool deltas).  Both
+   drivers run [dispatch] over {!streamed} values; the eager one simply
+   feeds it whole-relation sources, whose {!Chunk.Source.origin}
+   shortcut keeps that path copy-free. *)
+
+(* Memory accounting: rows the executor itself holds materialized (an
+   operator's collected output, or an input buffered for a blocking
+   operator).  Catalog relations, caller-provided overrides and storage
+   pages are not counted — they exist regardless of how we execute. *)
+type acct = {
+  mutable live_rows : int;
+  mutable peak_rows : int;
+  mutable chunks : int;
+}
+
+let acct_create () = { live_rows = 0; peak_rows = 0; chunks = 0 }
+
+let acct_alloc a n =
+  a.live_rows <- a.live_rows + n;
+  if a.live_rows > a.peak_rows then a.peak_rows <- a.live_rows
+
+let acct_release a n = a.live_rows <- a.live_rows - n
+
+(* Instrumentation hooks.  [on_node_start] fires when a node begins its
+   own work (its inputs, under the eager driver, are already complete —
+   so deltas snapshotted there are attributable to the node alone);
+   [on_chunk] fires per chunk pulled out of a node; [on_node_done]
+   folds the node's result and its children's annotations into this
+   node's annotation. *)
+type 'ann hooks = {
+  on_node_start : Algebra.t -> unit;
+  on_chunk : Algebra.t -> rows:int -> unit;
+  on_node_done : Algebra.t -> Relation.t -> Gmdj.stats option -> 'ann list -> 'ann;
+}
+
+type ctx = {
+  config : config;
+  catalog : Catalog.t;
+  sources : source_provider;
+  override : Algebra.t -> Relation.t option;
+  acct : acct;
+  notify_chunk : Algebra.t -> rows:int -> unit;
+}
+
+(* A node's output: a chunk stream plus a thunk releasing whatever the
+   subtree still holds materialized.  The consumer fires [release] once
+   it no longer needs the rows (releases are idempotent). *)
+type streamed = { src : Chunk.Source.t; release : unit -> unit }
+
+let no_release () = ()
+
+let once f =
+  let fired = ref false in
+  fun () ->
+    if not !fired then begin
+      fired := true;
+      f ()
+    end
+
+let tap ctx alg src =
+  Chunk.Source.tap
+    (fun rows ->
+      ctx.acct.chunks <- ctx.acct.chunks + 1;
+      ctx.notify_chunk alg ~rows)
+    src
+
+(* Collect a stream into a relation, accounting the copy — unless the
+   stream is an untouched whole-relation source, in which case the rows
+   are whoever produced them's responsibility (already accounted if an
+   operator emitted them, free if they came from the catalog). *)
+let materialize ctx s =
+  match Chunk.Source.origin s.src with
+  | Some r ->
+    Chunk.Source.close s.src;
+    (r, s.release)
+  | None ->
+    let r = Chunk.Source.to_relation s.src in
+    let n = Relation.cardinality r in
+    acct_alloc ctx.acct n;
+    ( r,
+      once (fun () ->
+          acct_release ctx.acct n;
+          s.release ()) )
+
+(* An operator's freshly materialized output, entering the accounting
+   until the consumer releases it. *)
+let emit ctx alg r =
+  let n = Relation.cardinality r in
+  acct_alloc ctx.acct n;
+  {
+    src = tap ctx alg (Chunk.Source.of_relation r);
+    release = once (fun () -> acct_release ctx.acct n);
+  }
+
+(* Override results must fit where the node's output goes.  The lookup
+   failing (unknown table, un-inferable subtree) falls back to the old
+   caller's-contract behaviour. *)
+let validate_override ctx alg r =
+  let lookup name =
+    match ctx.sources name with
+    | Some s ->
+      let sc = Chunk.Source.schema s in
+      Chunk.Source.close s;
+      sc
+    | None -> Relation.schema (Catalog.find ctx.catalog name)
+  in
+  match (try Algebra.schema_diag ~lookup alg with _ -> Error (Diag.error ~code:"EVL000" "")) with
+  | Error _ -> ()
+  | Ok expected ->
+    let got = Relation.schema r in
+    if not (Schema.equal expected got) then
+      raise
+        (Diag.Fail
+           (Diag.error ~code:"EVL001" ~subject:(node_label alg)
+              (Format.asprintf
+                 "override result schema %a does not match the node's inferred schema %a"
+                 Schema.pp got Schema.pp expected)))
+
+let gmdj_trace_attrs ~strategy ~blocks ~base ~completion =
+  let base_attrs =
+    [
+      ( "strategy",
+        match strategy with `Reference -> "scan" | `Scan -> "scan" | `Hash -> "hash" );
+      ("blocks", string_of_int (List.length blocks));
+      ("base_rows", string_of_int (Relation.cardinality base));
+      ("detail", "streamed");
+    ]
+  in
+  match completion with
+  | None -> base_attrs
+  | Some c ->
+    base_attrs
+    @ [
+        ("kill_preds", string_of_int (List.length c.Gmdj.kill_when));
+        ("require_preds", string_of_int (List.length c.Gmdj.require_fired));
+      ]
+
+(* The one per-node dispatch.  [child] yields each operand's streamed
+   value, in [children] order.  Fully pipelined operators pass the
+   stream through; blocking operators either consume the stream
+   incrementally (Group_by, Distinct — bounded state, no input copy) or
+   materialize inputs they must revisit (Join, Product, GMDJ base). *)
+let dispatch ctx ?gmdj_stats ~(child : Algebra.t -> streamed) alg =
+  match alg with
+  | Algebra.Table name -> (
+    match ctx.sources name with
+    | Some src -> { src = tap ctx alg src; release = no_release }
+    | None ->
+      {
+        src = tap ctx alg (Chunk.Source.of_relation (Catalog.find ctx.catalog name));
+        release = no_release;
+      })
+  | Algebra.Rename (alias, x) -> (
+    let c = child x in
+    match Chunk.Source.origin c.src with
+    | Some r ->
+      (* Whole-relation input: rename the header only, keeping the
+         origin shortcut (and the rows) intact. *)
+      Chunk.Source.close c.src;
+      {
+        src = tap ctx alg (Chunk.Source.of_relation (Relation.rename alias r));
+        release = c.release;
+      }
+    | None -> { src = tap ctx alg (Ops.rename_source alias c.src); release = c.release })
+  | Algebra.Select (e, x) ->
+    let c = child x in
+    { src = tap ctx alg (Ops.select_source e c.src); release = c.release }
+  | Algebra.Project (ps, x) ->
+    let c = child x in
+    { src = tap ctx alg (Ops.project_source ps c.src); release = c.release }
+  | Algebra.Project_cols { cols; distinct; _ } ->
+    let c = child (List.hd (children alg)) in
+    if distinct then begin
+      let r = Ops.distinct_source (Ops.project_cols_source cols c.src) in
+      c.release ();
+      emit ctx alg r
+    end
+    else { src = tap ctx alg (Ops.project_cols_source cols c.src); release = c.release }
+  | Algebra.Project_rel (aliases, x) ->
+    let c = child x in
+    let s = Chunk.Source.schema c.src in
+    let cols =
+      List.filter_map
+        (fun a ->
+          if List.mem a.Schema.rel aliases then Some (Some a.Schema.rel, a.Schema.name)
+          else None)
+        (Schema.to_list s)
+    in
+    { src = tap ctx alg (Ops.project_cols_source cols c.src); release = c.release }
+  | Algebra.Add_rownum (name, x) ->
+    let c = child x in
+    { src = tap ctx alg (Ops.add_rownum_source name c.src); release = c.release }
+  | Algebra.Product (l, r) ->
+    let cl = child l and cr = child r in
+    let lrel, lfree = materialize ctx cl in
+    let rrel, rfree = materialize ctx cr in
+    let out = Ops.product lrel rrel in
+    lfree ();
+    rfree ();
+    emit ctx alg out
+  | Algebra.Join { kind; cond; left; right } ->
+    let cl = child left and cr = child right in
+    let lrel, lfree = materialize ctx cl in
+    let rrel, rfree = materialize ctx cr in
+    let strategy = ctx.config.join_strategy in
+    let out =
+      match kind with
+      | Algebra.Inner -> Ops.join ~strategy cond lrel rrel
+      | Algebra.Left_outer -> Ops.left_outer_join ~strategy cond lrel rrel
+      | Algebra.Semi -> Ops.semi_join ~strategy cond lrel rrel
+      | Algebra.Anti -> Ops.anti_join ~strategy cond lrel rrel
+    in
+    lfree ();
+    rfree ();
+    emit ctx alg out
+  | Algebra.Group_by { keys; aggs; _ } ->
+    let c = child (List.hd (children alg)) in
+    let out = Ops.group_by_source ~keys ~aggs c.src in
+    c.release ();
+    emit ctx alg out
+  | Algebra.Aggregate_all (aggs, x) ->
+    let c = child x in
+    let out = Ops.aggregate_all_source aggs c.src in
+    c.release ();
+    emit ctx alg out
+  | Algebra.Md { blocks; base = b; detail = d } -> (
+    let cb = child b in
+    let base, bfree = materialize ctx cb in
+    let cd = child d in
+    let strategy = ctx.config.gmdj_strategy in
+    match Chunk.Source.origin cd.src with
+    | Some detail ->
+      (* Materialized detail: the classic evaluator (its own span and
+         registry publication, including the `Reference strategy). *)
+      Chunk.Source.close cd.src;
+      let out = Gmdj.eval ~strategy ?stats:gmdj_stats ~base ~detail blocks in
+      cd.release ();
+      bfree ();
+      emit ctx alg out
+    | None ->
+      (* Streamed detail: one pass over the chunk stream, |B|
+         accumulators of state, never the detail in memory. *)
+      let out =
+        Subql_obs.Trace.with_
+          ~attrs:(gmdj_trace_attrs ~strategy ~blocks ~base ~completion:None)
+          "gmdj.eval"
+          (fun () ->
+            let acc = Gmdj.Fold.start ~strategy ?stats:gmdj_stats ~base
+                ~detail:(Chunk.Source.schema cd.src) blocks
+            in
+            let acc =
+              Chunk.Source.fold (fun acc c -> Gmdj.Fold.fold_detail c acc) acc cd.src
+            in
+            Gmdj.Fold.finish acc)
+      in
+      cd.release ();
+      bfree ();
+      emit ctx alg out)
+  | Algebra.Md_completed { blocks; completion; base = b; detail = d } -> (
+    let cb = child b in
+    let base, bfree = materialize ctx cb in
+    let cd = child d in
+    let strategy = ctx.config.gmdj_strategy in
+    match Chunk.Source.origin cd.src with
+    | Some detail ->
+      Chunk.Source.close cd.src;
+      let out =
+        Gmdj.eval_completed ~strategy ?stats:gmdj_stats ~completion ~base ~detail blocks
+      in
+      cd.release ();
+      bfree ();
+      emit ctx alg out
+    | None ->
+      let out =
+        Subql_obs.Trace.with_
+          ~attrs:(gmdj_trace_attrs ~strategy ~blocks ~base ~completion:(Some completion))
+          "gmdj.eval_completed"
+          (fun () ->
+            let acc =
+              ref
+                (Gmdj.Fold_completed.start ~strategy ?stats:gmdj_stats ~completion ~base
+                   ~detail:(Chunk.Source.schema cd.src) blocks)
+            in
+            (* Saturation turns the early scan exit into an early
+               storage exit: stop pulling pages mid-stream. *)
+            let rec pull () =
+              if Gmdj.Fold_completed.saturated !acc then Chunk.Source.close cd.src
+              else
+                match Chunk.Source.next cd.src with
+                | None -> ()
+                | Some c ->
+                  acc := Gmdj.Fold_completed.fold_detail c !acc;
+                  pull ()
+            in
+            pull ();
+            Gmdj.Fold_completed.finish !acc)
+      in
+      cd.release ();
+      bfree ();
+      emit ctx alg out)
+  | Algebra.Union_all (l, r) ->
+    let cl = child l and cr = child r in
+    {
+      src = tap ctx alg (Ops.union_all_source cl.src cr.src);
+      release =
+        once (fun () ->
+            cl.release ();
+            cr.release ());
+    }
+  | Algebra.Diff_all (l, r) ->
+    let cl = child l and cr = child r in
+    let lrel, lfree = materialize ctx cl in
+    let rrel, rfree = materialize ctx cr in
+    let out = Ops.diff_all lrel rrel in
+    lfree ();
+    rfree ();
+    emit ctx alg out
+  | Algebra.Distinct x ->
+    let c = child x in
+    let out = Ops.distinct_source c.src in
+    c.release ();
+    emit ctx alg out
+
+(* Lazy driver: the plan becomes a tree of chunk streams; work happens
+   as the root is drained. *)
+let rec run_stream ctx ?gmdj_stats alg =
+  match ctx.override alg with
+  | Some r ->
+    validate_override ctx alg r;
+    { src = tap ctx alg (Chunk.Source.of_relation r); release = no_release }
+  | None -> dispatch ctx ?gmdj_stats ~child:(fun sub -> run_stream ctx ?gmdj_stats sub) alg
+
+(* Eager driver: children are fully evaluated (and annotated) before
+   the node runs, so hooks observe exact per-node deltas.  The node
+   itself still goes through [dispatch], fed whole-relation sources. *)
+let rec run_eager ctx hooks alg =
+  match ctx.override alg with
+  | Some r ->
+    validate_override ctx alg r;
+    hooks.on_node_start alg;
+    (r, no_release, hooks.on_node_done alg r None [])
+  | None ->
+    let kid_results = List.map (fun k -> run_eager ctx hooks k) (children alg) in
+    let gmdj_stats =
+      match alg with
+      | Algebra.Md _ | Algebra.Md_completed _ -> Some (Gmdj.fresh_stats ())
+      | _ -> None
+    in
+    let pending = ref (List.map (fun (r, free, _) -> (r, free)) kid_results) in
+    let child _sub =
+      match !pending with
+      | [] -> invalid_arg "Eval.run_eager: child arity mismatch"
+      | (r, free) :: rest ->
+        pending := rest;
+        { src = Chunk.Source.of_relation r; release = free }
+    in
+    hooks.on_node_start alg;
+    let result, free =
+      Subql_obs.Trace.with_ (node_label alg) (fun () ->
+          let s = dispatch ctx ?gmdj_stats ~child alg in
+          let r, free = materialize ctx s in
+          Subql_obs.Trace.add_attr "rows" (string_of_int (Relation.cardinality r));
+          (r, free))
+    in
+    let ann =
+      hooks.on_node_done alg result gmdj_stats (List.map (fun (_, _, a) -> a) kid_results)
+    in
+    (result, free, ann)
+
+let publish_run acct =
+  let open Subql_obs in
+  Metrics.(incr ~by:acct.chunks (counter default "eval.chunks"));
+  Metrics.(set (gauge default "eval.peak_materialized_rows") (float_of_int acct.peak_rows))
+
+let no_sources _ = None
+
+let no_override _ = None
+
+let silent_chunk _ ~rows:_ = ()
+
+let make_ctx ?(sources = no_sources) ?(override = no_override)
+    ?(notify_chunk = silent_chunk) ~config catalog =
+  { config; catalog; sources; override; acct = acct_create (); notify_chunk }
+
+(* ------------------------------------------------------------------ *)
+(* Public entry points — thin wrappers over the two drivers            *)
+(* ------------------------------------------------------------------ *)
+
+let run_to_relation ctx ?gmdj_stats alg =
+  let s = run_stream ctx ?gmdj_stats alg in
+  let r, free = materialize ctx s in
+  free ();
+  publish_run ctx.acct;
+  r
+
+let eval ?(config = default_config) ?gmdj_stats catalog alg =
+  run_to_relation (make_ctx ~config catalog) ?gmdj_stats alg
+
+let eval_with_overrides ?(config = default_config) ?gmdj_stats ~override catalog alg =
+  run_to_relation (make_ctx ~override ~config catalog) ?gmdj_stats alg
+
+let eval_exec ?(config = default_config) ?gmdj_stats ?sources catalog alg =
+  let ctx = make_ctx ?sources ~config catalog in
+  let r = run_to_relation ctx ?gmdj_stats alg in
+  (r, { chunks = ctx.acct.chunks; peak_materialized_rows = ctx.acct.peak_rows })
+
+(* ------------------------------------------------------------------ *)
+(* Instrumented evaluation                                              *)
+(* ------------------------------------------------------------------ *)
+
+type trace = {
+  label : string;
+  out_rows : int;
+  self_seconds : float;
+  children : trace list;
+}
+
 (* EXPLAIN ANALYZE: every operator runs inside a trace span and yields a
    {!Subql_obs.Explain.node} carrying what actually happened.  Buffer-
    pool activity is attributed per operator by delta over the registry's
@@ -163,44 +529,45 @@ let eval_analyzed ?(config = default_config) ?(registry = Subql_obs.Metrics.defa
   let rows_out_total = M.counter registry "eval.rows_out" in
   let pool_hits () = M.counter_value_by_name registry "storage.buffer_pool.hits" in
   let pool_reads () = M.counter_value_by_name registry "storage.buffer_pool.page_reads" in
-  let rec go alg =
-    let kid_results = List.map go (children alg) in
-    let kids = List.map fst kid_results in
-    let kid_nodes = List.map snd kid_results in
-    let gmdj_stats =
-      match alg with
-      | Algebra.Md _ | Algebra.Md_completed _ -> Some (Gmdj.fresh_stats ())
-      | _ -> None
-    in
-    let label = node_label alg in
-    let hits0 = pool_hits () and reads0 = pool_reads () in
-    let t0 = Unix.gettimeofday () in
-    let result =
-      Subql_obs.Trace.with_ label (fun () ->
-          let r = apply ~config ?gmdj_stats catalog alg kids in
-          Subql_obs.Trace.add_attr "rows" (string_of_int (Relation.cardinality r));
-          r)
-    in
-    let elapsed_s = Unix.gettimeofday () -. t0 in
-    let rows_out = Relation.cardinality result in
-    M.incr ops;
-    M.observe op_seconds elapsed_s;
-    M.incr ~by:rows_out rows_out_total;
-    ( result,
-      {
-        Subql_obs.Explain.label;
-        rows_in =
-          List.fold_left (fun acc n -> acc + n.Subql_obs.Explain.rows_out) 0 kid_nodes;
-        rows_out;
-        calls = 1;
-        elapsed_s;
-        pool_hits = pool_hits () - hits0;
-        pool_reads = pool_reads () - reads0;
-        attrs = (match gmdj_stats with Some s -> gmdj_attrs s | None -> []);
-        children = kid_nodes;
-      } )
+  let stack = ref [] in
+  let hooks =
+    {
+      on_node_start =
+        (fun _ -> stack := (Unix.gettimeofday (), pool_hits (), pool_reads ()) :: !stack);
+      on_chunk = (fun _ ~rows:_ -> ());
+      on_node_done =
+        (fun alg result gmdj_stats kid_nodes ->
+          let t0, hits0, reads0 =
+            match !stack with
+            | [] -> invalid_arg "Eval.eval_analyzed: unbalanced hooks"
+            | x :: rest ->
+              stack := rest;
+              x
+          in
+          let elapsed_s = Unix.gettimeofday () -. t0 in
+          let rows_out = Relation.cardinality result in
+          M.incr ops;
+          M.observe op_seconds elapsed_s;
+          M.incr ~by:rows_out rows_out_total;
+          {
+            Subql_obs.Explain.label = node_label alg;
+            rows_in =
+              List.fold_left (fun acc n -> acc + n.Subql_obs.Explain.rows_out) 0 kid_nodes;
+            rows_out;
+            calls = 1;
+            elapsed_s;
+            pool_hits = pool_hits () - hits0;
+            pool_reads = pool_reads () - reads0;
+            attrs = (match gmdj_stats with Some s -> gmdj_attrs s | None -> []);
+            children = kid_nodes;
+          });
+    }
   in
-  go alg
+  let ctx = make_ctx ~config catalog in
+  let result, free, node = run_eager ctx hooks alg in
+  free ();
+  publish_run ctx.acct;
+  (result, node)
 
 let eval_traced ?config catalog alg =
   let result, analysis = eval_analyzed ?config catalog alg in

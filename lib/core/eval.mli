@@ -21,10 +21,49 @@ val default_config : config
 val unindexed_config : config
 (** Nested-loop joins, scan GMDJ. *)
 
+(** {1 Streaming execution}
+
+    All entry points run one shared executor skeleton.  Operators
+    exchange pull-based chunk streams ({!Subql_relational.Chunk.Source.t}):
+    Select / Project / Rename / Add_rownum / Union_all and the GMDJ
+    detail side are fully pipelined, while pipeline breakers (Join,
+    Product, Group_by, Distinct, Diff_all, the GMDJ base side) buffer
+    only what they must.  Every run publishes ["eval.chunks"] (chunks
+    pulled through operator boundaries) and
+    ["eval.peak_materialized_rows"] (high-water mark of rows the
+    executor held materialized) into {!Subql_obs.Metrics.default}. *)
+
 val eval :
   ?config:config -> ?gmdj_stats:Gmdj.stats -> Catalog.t -> Algebra.t -> Relation.t
 (** [gmdj_stats], when provided, accumulates over every [Md] /
     [Md_completed] node evaluated. *)
+
+type source_provider = string -> Chunk.Source.t option
+(** Where table scans come from.  [Some src] streams the named table
+    (e.g. {!Subql_storage.Heap_file.source} pages through a buffer
+    pool) instead of the catalog relation; the provider must return a
+    {e fresh} source on every call — a table referenced twice is
+    scanned twice. *)
+
+type exec_report = {
+  chunks : int;  (** chunks pulled through operator boundaries *)
+  peak_materialized_rows : int;
+      (** high-water mark of rows held materialized by the executor:
+          pipeline-breaker state and collected outputs; catalog
+          relations and storage pages are not charged *)
+}
+
+val eval_exec :
+  ?config:config ->
+  ?gmdj_stats:Gmdj.stats ->
+  ?sources:source_provider ->
+  Catalog.t ->
+  Algebra.t ->
+  Relation.t * exec_report
+(** {!eval} with externalized table scans and the run's memory/chunk
+    accounting.  With a heap-file provider, a plan whose blocking state
+    is small (e.g. a GMDJ over a large detail table) completes with
+    peak memory independent of the detail cardinality. *)
 
 val schema : Catalog.t -> Algebra.t -> Schema.t
 
@@ -40,8 +79,10 @@ val eval_with_overrides :
     multi-query layer ([Subql_mqo]) uses this to splice shared GMDJ
     results into several queries' plans: each plan references the same
     physical combined node, and the override memoizes its single
-    evaluation.  The caller is responsible for [r] having the schema the
-    enclosing operators expect. *)
+    evaluation.  An override result whose schema contradicts the node's
+    inferred schema is rejected with a {!Subql_relational.Diag.Fail}
+    (code [EVL001]); nodes whose schema cannot be inferred fall back to
+    the caller's contract. *)
 
 (** {1 Instrumented evaluation (EXPLAIN ANALYZE)} *)
 

@@ -95,9 +95,15 @@ let candidates ?(config = Eval.default_config) catalog query =
          { label; plan; estimate = Cost.estimate stats ~config plan })
   |> List.sort (fun a b -> Float.compare a.estimate.Cost.cost b.estimate.Cost.cost)
 
-let choose ?config catalog query =
-  match candidates ?config catalog query with
-  | best :: _ -> best
+let choose ?(config = Eval.default_config) catalog query =
+  match candidates ~config catalog query with
+  | best :: _ ->
+    (* Report the winner's expected executor footprint next to its cost,
+       so memory regressions surface in the same registry as q-errors. *)
+    Subql_obs.Metrics.set
+      (Subql_obs.Metrics.gauge Subql_obs.Metrics.default "planner.last_memory_height")
+      (Cost.memory_height (Cost.Stats.of_catalog catalog) ~config best.plan);
+    best
   | [] -> assert false (* the GMDJ plan is always present *)
 
 (* --- Estimated-vs-actual feedback ---------------------------------- *)

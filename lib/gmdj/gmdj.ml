@@ -262,26 +262,64 @@ let accumulate_range ?(apply = Aggregate.step) ~plans ~accs ~base_rows ~detail_r
       plans
   done
 
-(* [theta_stats] controls the per-pair θ-evaluation counting (a closure
+(* ------------------------------------------------------------------ *)
+(* The chunk-consuming fold core                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One in-flight `Scan`/`Hash` evaluation: compiled θ-plans plus the
+   per-base-tuple accumulator matrix.  Detail rows arrive as chunks
+   ([fold_feed]) — the whole-relation evaluators below feed a single
+   chunk, the streaming executor and [Paged_gmdj] feed page-sized ones —
+   so the detail side is never required to exist as one array and
+   [stats.detail_passes] counts storage passes, not materializations.
+
+   [theta_stats] controls the per-pair θ-evaluation counting (a closure
    wrapper on the hottest path, so it stays opt-in); [stats] is the
    always-on owned record for pass/row/accumulator counts. *)
-let scan_eval ~strategy ~theta_stats ~stats ~base ~detail blocks =
-  let bs = Relation.schema base and ds = Relation.schema detail in
-  let out_schema = output_schema ~base:bs ~detail:ds blocks in
+type fold_state = {
+  f_plans : plan array;
+  f_accs : Aggregate.acc array array array;
+  f_base_rows : Tuple.t array;
+  f_out_schema : Schema.t;
+  f_stats : stats;
+}
+
+let fold_start ~strategy ~theta_stats ~stats ~base ~detail_schema blocks =
+  let bs = Relation.schema base and ds = detail_schema in
   let base_rows = Relation.rows base in
-  let n_base = Array.length base_rows in
-  let detail_rows = Relation.rows detail in
   let plans =
     Array.of_list
       (List.map
          (fun b -> make_plan ~strategy ~stats:theta_stats ~bs ~ds ~base_rows b.theta)
          blocks)
   in
-  let accs = make_accs ~bs ~ds ~n_base blocks in
+  let accs = make_accs ~bs ~ds ~n_base:(Array.length base_rows) blocks in
   stats.detail_passes <- stats.detail_passes + 1;
-  accumulate_range ~plans ~accs ~base_rows ~detail_rows ~stats 0 (Array.length detail_rows);
-  let rows = Array.mapi (fun bi brow -> emit_row brow accs.(bi)) base_rows in
-  Relation.create ~check:false out_schema rows
+  {
+    f_plans = plans;
+    f_accs = accs;
+    f_base_rows = base_rows;
+    f_out_schema = output_schema ~base:bs ~detail:ds blocks;
+    f_stats = stats;
+  }
+
+let fold_feed st chunk =
+  let lo = Chunk.offset chunk in
+  accumulate_range ~plans:st.f_plans ~accs:st.f_accs ~base_rows:st.f_base_rows
+    ~detail_rows:(Chunk.buffer chunk) ~stats:st.f_stats lo
+    (lo + Chunk.length chunk)
+
+let fold_finish st =
+  Relation.create ~check:false st.f_out_schema
+    (Array.mapi (fun bi brow -> emit_row brow st.f_accs.(bi)) st.f_base_rows)
+
+let scan_eval ~strategy ~theta_stats ~stats ~base ~detail blocks =
+  let st =
+    fold_start ~strategy ~theta_stats ~stats ~base ~detail_schema:(Relation.schema detail)
+      blocks
+  in
+  fold_feed st (Chunk.whole detail);
+  fold_finish st
 
 let dispatch ~strategy ~theta_stats ~stats ~base ~detail blocks =
   match strategy with
@@ -400,6 +438,178 @@ let eval_segmented ?(strategy = `Hash) ?stats ~segment_size ~base ~detail blocks
 
 exception Scan_done
 
+(* Completion-aware fold state: the kill/require/block plans plus the
+   per-base-tuple decision bookkeeping.  [c_saturated] means no further
+   detail rows can change the answer — the feeder must stop pulling the
+   detail stream (Thms 4.1–4.2's early scan exit, now an early *storage*
+   exit for disk-resident details). *)
+type completed_state = {
+  c_out_schema : Schema.t;
+  c_base_rows : Tuple.t array;
+  c_accs : Aggregate.acc array array array;
+  c_kill_plans : plan array;
+  c_fired_plans : plan array;
+  c_block_plans : plan array;
+  c_alive : bool array;
+  c_fired : bool array array;
+  c_unfired : int array;
+  c_settled : bool array;
+  mutable c_n_settled : int;
+  c_positive_settles : bool;
+  c_early_exit_allowed : bool;
+  mutable c_active : int array;
+  mutable c_settled_at_compact : int;
+  c_ctx : Tuple.t array;
+  c_stats : stats;
+  mutable c_saturated : bool;
+}
+
+let mark_early_exit stats =
+  stats.early_exit <- true;
+  Subql_obs.Metrics.(incr (counter default "gmdj.early_exits"))
+
+let completed_start ~strategy ~theta_stats ~stats ~completion ~base ~detail_schema blocks =
+  let strategy = match strategy with `Reference -> `Scan | (`Scan | `Hash) as s -> s in
+  ensure_block_slots stats (List.length blocks);
+  let bs = Relation.schema base and ds = detail_schema in
+  let out_schema = output_schema ~base:bs ~detail:ds blocks in
+  let base_rows = Relation.rows base in
+  let n_base = Array.length base_rows in
+  let mk = make_plan ~strategy ~stats:theta_stats ~bs ~ds ~base_rows in
+  let kill_plans = Array.of_list (List.map mk completion.kill_when) in
+  let fired_plans = Array.of_list (List.map mk completion.require_fired) in
+  let block_plans =
+    if completion.maintain_aggregates then
+      Array.of_list (List.map (fun b -> mk b.theta) blocks)
+    else [||]
+  in
+  let n_fired_preds = Array.length fired_plans in
+  let has_kills = Array.length kill_plans > 0 in
+  let early_exit_allowed = not completion.maintain_aggregates in
+  let st =
+    {
+      c_out_schema = out_schema;
+      c_base_rows = base_rows;
+      c_accs = make_accs ~bs ~ds ~n_base blocks;
+      c_kill_plans = kill_plans;
+      c_fired_plans = fired_plans;
+      c_block_plans = block_plans;
+      c_alive = Array.make n_base true;
+      c_fired = Array.make_matrix (max n_fired_preds 1) n_base false;
+      c_unfired = Array.make n_base n_fired_preds;
+      (* A base tuple is settled — removable from the scan — once it is
+         killed (Thm 4.2), or, when there are no kill predicates and the
+         aggregates are not needed, once every require-fired predicate
+         has fired for it (Thm 4.1). *)
+      c_positive_settles = (not has_kills) && not completion.maintain_aggregates;
+      c_settled = Array.make n_base false;
+      c_n_settled = 0;
+      (* Early termination is sound only when settled tuples account for
+         the whole base: killed ones produce no output and positively-
+         settled ones need no further updates. *)
+      c_early_exit_allowed = early_exit_allowed;
+      c_active = Array.init n_base (fun i -> i);
+      c_settled_at_compact = 0;
+      c_ctx = [| Tuple.empty; Tuple.empty |];
+      c_stats = stats;
+      c_saturated = false;
+    }
+  in
+  if n_base = 0 then st.c_saturated <- true
+  else if early_exit_allowed && (not has_kills) && n_fired_preds = 0 then begin
+    (* Nothing can kill and nothing must fire: every base tuple is
+       already decided without reading a single detail row. *)
+    st.c_saturated <- true;
+    mark_early_exit stats
+  end
+  else stats.detail_passes <- stats.detail_passes + 1;
+  st
+
+let settle st bi =
+  if not st.c_settled.(bi) then begin
+    st.c_settled.(bi) <- true;
+    st.c_n_settled <- st.c_n_settled + 1;
+    if st.c_early_exit_allowed && st.c_n_settled >= Array.length st.c_base_rows then
+      raise Scan_done
+  end
+
+(* The scan probes of Probe_all plans iterate an explicit active list;
+   it is compacted whenever at least a quarter of it has settled, so a
+   mostly-decided base stops costing per-pair work (the paper's
+   "transferring the completed tuples to disk"). *)
+let compact st =
+  if
+    Array.length st.c_active > 64
+    && 4 * (st.c_n_settled - st.c_settled_at_compact) > Array.length st.c_active
+  then begin
+    st.c_active <-
+      Array.of_seq (Seq.filter (fun bi -> not st.c_settled.(bi)) (Array.to_seq st.c_active));
+    st.c_settled_at_compact <- st.c_n_settled
+  end
+
+let iterate_candidates st plan drow f =
+  match plan.probe with
+  | Probe_hash { key_of_detail; index; test } ->
+    Index.probe_iter index (key_of_detail drow) (fun bi ->
+        if (not st.c_settled.(bi)) && test st.c_base_rows.(bi) drow then f bi)
+  | Probe_all { test } ->
+    let a = st.c_active in
+    for i = 0 to Array.length a - 1 do
+      let bi = a.(i) in
+      if (not st.c_settled.(bi)) && test st.c_base_rows.(bi) drow then f bi
+    done
+
+let completed_feed_row st drow =
+  st.c_stats.detail_scanned <- st.c_stats.detail_scanned + 1;
+  Array.iter
+    (fun plan ->
+      if prefilter_passes plan drow then
+        iterate_candidates st plan drow (fun bi ->
+            if st.c_alive.(bi) then begin
+              st.c_alive.(bi) <- false;
+              settle st bi
+            end))
+    st.c_kill_plans;
+  Array.iteri
+    (fun pi plan ->
+      if prefilter_passes plan drow then
+        iterate_candidates st plan drow (fun bi ->
+            if st.c_alive.(bi) && not st.c_fired.(pi).(bi) then begin
+              st.c_fired.(pi).(bi) <- true;
+              st.c_unfired.(bi) <- st.c_unfired.(bi) - 1;
+              if st.c_positive_settles && st.c_unfired.(bi) = 0 then settle st bi
+            end))
+    st.c_fired_plans;
+  Array.iteri
+    (fun block_i plan ->
+      if prefilter_passes plan drow then
+        iterate_candidates st plan drow (fun bi ->
+            if st.c_alive.(bi) then begin
+              st.c_ctx.(0) <- st.c_base_rows.(bi);
+              st.c_ctx.(1) <- drow;
+              st.c_stats.block_updates.(block_i) <- st.c_stats.block_updates.(block_i) + 1;
+              Array.iter (fun acc -> Aggregate.step acc st.c_ctx) st.c_accs.(bi).(block_i)
+            end))
+    st.c_block_plans;
+  compact st
+
+let completed_feed st chunk =
+  if not st.c_saturated then begin
+    try Chunk.iter (completed_feed_row st) chunk
+    with Scan_done ->
+      st.c_saturated <- true;
+      mark_early_exit st.c_stats
+  end
+
+let completed_finish st =
+  let out = Vec.create ~dummy:Tuple.empty () in
+  Array.iteri
+    (fun bi brow ->
+      if st.c_alive.(bi) && st.c_unfired.(bi) = 0 then
+        Vec.push out (emit_row brow st.c_accs.(bi)))
+    st.c_base_rows;
+  Relation.create ~check:false st.c_out_schema (Vec.to_array out)
+
 let eval_completed ?(strategy = `Hash) ?stats ~completion ~base ~detail blocks =
   let strategy = match strategy with `Reference -> `Scan | (`Scan | `Hash) as s -> s in
   with_owned_stats
@@ -412,123 +622,76 @@ let eval_completed ?(strategy = `Hash) ?stats ~completion ~base ~detail blocks =
       ]
     ~span:"gmdj.eval_completed" stats
   @@ fun owned ->
-  ensure_block_slots owned (List.length blocks);
-  let bs = Relation.schema base and ds = Relation.schema detail in
-  let out_schema = output_schema ~base:bs ~detail:ds blocks in
-  let base_rows = Relation.rows base in
-  let n_base = Array.length base_rows in
-  let mk = make_plan ~strategy ~stats ~bs ~ds ~base_rows in
-  let kill_plans = Array.of_list (List.map mk completion.kill_when) in
-  let fired_plans = Array.of_list (List.map mk completion.require_fired) in
-  let block_plans =
-    if completion.maintain_aggregates then
-      Array.of_list (List.map (fun b -> mk b.theta) blocks)
-    else [||]
+  let st =
+    completed_start ~strategy ~theta_stats:stats ~stats:owned ~completion ~base
+      ~detail_schema:(Relation.schema detail) blocks
   in
-  let accs = make_accs ~bs ~ds ~n_base blocks in
-  let alive = Array.make n_base true in
-  let n_fired_preds = Array.length fired_plans in
-  let fired = Array.make_matrix (max n_fired_preds 1) n_base false in
-  let unfired = Array.make n_base n_fired_preds in
-  (* A base tuple is settled — removable from the scan — once it is
-     killed (Thm 4.2), or, when there are no kill predicates and the
-     aggregates are not needed, once every require-fired predicate has
-     fired for it (Thm 4.1). *)
-  let has_kills = Array.length kill_plans > 0 in
-  let positive_settles = (not has_kills) && not completion.maintain_aggregates in
-  let settled = Array.make n_base false in
-  let n_settled = ref 0 in
-  (* Early termination is sound only when settled tuples account for the
-     whole base: killed ones produce no output and positively-settled
-     ones need no further updates. *)
-  let early_exit_allowed = not completion.maintain_aggregates in
-  let settle bi =
-    if not settled.(bi) then begin
-      settled.(bi) <- true;
-      incr n_settled;
-      if early_exit_allowed && !n_settled >= n_base then raise Scan_done
-    end
-  in
-  (* The scan probes of Probe_all plans iterate an explicit active list;
-     it is compacted whenever at least a quarter of it has settled, so a
-     mostly-decided base stops costing per-pair work (the paper's
-     "transferring the completed tuples to disk"). *)
-  let active = ref (Array.init n_base (fun i -> i)) in
-  let settled_at_compact = ref 0 in
-  let compact () =
-    if
-      Array.length !active > 64
-      && 4 * (!n_settled - !settled_at_compact) > Array.length !active
-    then begin
-      active := Array.of_seq (Seq.filter (fun bi -> not settled.(bi)) (Array.to_seq !active));
-      settled_at_compact := !n_settled
-    end
-  in
-  let iterate_candidates plan drow f =
-    match plan.probe with
-    | Probe_hash { key_of_detail; index; test } ->
-      Index.probe_iter index (key_of_detail drow) (fun bi ->
-          if (not settled.(bi)) && test base_rows.(bi) drow then f bi)
-    | Probe_all { test } ->
-      let a = !active in
-      for i = 0 to Array.length a - 1 do
-        let bi = a.(i) in
-        if (not settled.(bi)) && test base_rows.(bi) drow then f bi
-      done
-  in
-  let ctx = [| Tuple.empty; Tuple.empty |] in
-  if n_base > 0 && not (early_exit_allowed && (not has_kills) && n_fired_preds = 0) then begin
-    owned.detail_passes <- owned.detail_passes + 1;
-    try
-      Relation.iter
-        (fun drow ->
-          owned.detail_scanned <- owned.detail_scanned + 1;
-          Array.iter
-            (fun plan ->
-              if prefilter_passes plan drow then
-                iterate_candidates plan drow (fun bi ->
-                    if alive.(bi) then begin
-                      alive.(bi) <- false;
-                      settle bi
-                    end))
-            kill_plans;
-          Array.iteri
-            (fun pi plan ->
-              if prefilter_passes plan drow then
-                iterate_candidates plan drow (fun bi ->
-                    if alive.(bi) && not fired.(pi).(bi) then begin
-                      fired.(pi).(bi) <- true;
-                      unfired.(bi) <- unfired.(bi) - 1;
-                      if positive_settles && unfired.(bi) = 0 then settle bi
-                    end))
-            fired_plans;
-          Array.iteri
-            (fun block_i plan ->
-              if prefilter_passes plan drow then
-                iterate_candidates plan drow (fun bi ->
-                    if alive.(bi) then begin
-                      ctx.(0) <- base_rows.(bi);
-                      ctx.(1) <- drow;
-                      owned.block_updates.(block_i) <- owned.block_updates.(block_i) + 1;
-                      Array.iter (fun acc -> Aggregate.step acc ctx) accs.(bi).(block_i)
-                    end))
-            block_plans;
-          compact ())
-        detail
-    with Scan_done ->
-      owned.early_exit <- true;
-      Subql_obs.Metrics.(incr (counter default "gmdj.early_exits"))
-  end
-  else if n_base > 0 then begin
-    owned.early_exit <- true;
-    Subql_obs.Metrics.(incr (counter default "gmdj.early_exits"))
-  end;
-  let out = Vec.create ~dummy:Tuple.empty () in
-  Array.iteri
-    (fun bi brow ->
-      if alive.(bi) && unfired.(bi) = 0 then Vec.push out (emit_row brow accs.(bi)))
-    base_rows;
-  Relation.create ~check:false out_schema (Vec.to_array out)
+  completed_feed st (Chunk.whole detail);
+  completed_finish st
+
+(* ------------------------------------------------------------------ *)
+(* Public chunk-at-a-time evaluation                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The streaming counterparts of [eval] / [eval_completed]: the caller
+   owns the detail scan and pushes chunks in, so the detail relation
+   never has to exist in memory.  [start] snapshots the registry
+   baselines and [finish] publishes the deltas — exactly one publication
+   per evaluation, mirroring [with_owned_stats].  Callers that want a
+   trace span open it around the whole start/feed/finish sequence. *)
+
+module Fold = struct
+  type acc = { st : fold_state; passes0 : int; rows0 : int; thetas0 : int }
+
+  let start ?(strategy = `Hash) ?stats ~base ~detail blocks =
+    let strategy = match strategy with `Reference -> `Scan | (`Scan | `Hash) as s -> s in
+    let owned = match stats with Some s -> s | None -> fresh_stats () in
+    let passes0 = owned.detail_passes
+    and rows0 = owned.detail_scanned
+    and thetas0 = owned.theta_evals in
+    let st =
+      fold_start ~strategy ~theta_stats:stats ~stats:owned ~base ~detail_schema:detail blocks
+    in
+    { st; passes0; rows0; thetas0 }
+
+  let fold_detail chunk acc =
+    fold_feed acc.st chunk;
+    acc
+
+  let finish acc =
+    let r = fold_finish acc.st in
+    publish ~owned:acc.st.f_stats ~passes0:acc.passes0 ~rows0:acc.rows0 ~thetas0:acc.thetas0
+      ();
+    r
+end
+
+module Fold_completed = struct
+  type acc = { st : completed_state; passes0 : int; rows0 : int; thetas0 : int }
+
+  let start ?(strategy = `Hash) ?stats ~completion ~base ~detail blocks =
+    let strategy = match strategy with `Reference -> `Scan | (`Scan | `Hash) as s -> s in
+    let owned = match stats with Some s -> s | None -> fresh_stats () in
+    let passes0 = owned.detail_passes
+    and rows0 = owned.detail_scanned
+    and thetas0 = owned.theta_evals in
+    let st =
+      completed_start ~strategy ~theta_stats:stats ~stats:owned ~completion ~base
+        ~detail_schema:detail blocks
+    in
+    { st; passes0; rows0; thetas0 }
+
+  let saturated acc = acc.st.c_saturated
+
+  let fold_detail chunk acc =
+    completed_feed acc.st chunk;
+    acc
+
+  let finish acc =
+    let r = completed_finish acc.st in
+    publish ~owned:acc.st.c_stats ~passes0:acc.passes0 ~rows0:acc.rows0 ~thetas0:acc.thetas0
+      ();
+    r
+end
 
 (* ------------------------------------------------------------------ *)
 (* Incremental view maintenance                                         *)

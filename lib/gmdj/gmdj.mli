@@ -143,6 +143,63 @@ val eval_completed :
 (** Returns only the surviving base rows, extended with the aggregate
     columns.  [`Reference] is treated as [`Scan]. *)
 
+(** {1 Chunk-at-a-time evaluation}
+
+    The streaming counterparts of {!eval} and {!eval_completed}: the
+    caller owns the detail scan and pushes {!Subql_relational.Chunk.t}
+    batches in, so the detail side never has to exist as one in-memory
+    relation — it can be pulled straight off heap-file pages through a
+    buffer pool.  One [start]/[finish] pair counts as one evaluation
+    (one registry publication and, for [`Scan]/[`Hash], one
+    [detail_passes] increment regardless of how many chunks arrive —
+    the Prop. 4.1 accounting is per storage pass, not per batch). *)
+
+module Fold : sig
+  type acc
+
+  val start :
+    ?strategy:strategy ->
+    ?stats:stats ->
+    base:Relation.t ->
+    detail:Schema.t ->
+    block list ->
+    acc
+  (** Compile plans against the detail [schema] and allocate the
+      accumulator matrix.  [`Reference] is treated as [`Scan]. *)
+
+  val fold_detail : Chunk.t -> acc -> acc
+  (** Accumulate one batch of detail rows into every base tuple's
+      ranges.  Chunks may arrive in any number and size. *)
+
+  val finish : acc -> Relation.t
+  (** Emit the result (base order) and publish the registry deltas. *)
+end
+
+module Fold_completed : sig
+  type acc
+
+  val start :
+    ?strategy:strategy ->
+    ?stats:stats ->
+    completion:completion ->
+    base:Relation.t ->
+    detail:Schema.t ->
+    block list ->
+    acc
+
+  val saturated : acc -> bool
+  (** No further detail rows can change the answer (every base tuple is
+      decided, Thms 4.1–4.2).  The feeder should stop pulling — and
+      close — the detail stream: with a paged detail source this turns
+      the early {e scan} exit into an early {e storage} exit. *)
+
+  val fold_detail : Chunk.t -> acc -> acc
+  (** No-op once {!saturated}. *)
+
+  val finish : acc -> Relation.t
+  (** Surviving base rows, extended with the aggregate columns. *)
+end
+
 (** {1 Incremental view maintenance}
 
     Maintain a materialized GMDJ result under detail-relation deltas

@@ -46,14 +46,36 @@ end
 
 let dummy_row : Tuple.t = [||]
 
-let select pred rel =
-  let schema = Relation.schema rel in
+(* ------------------------------------------------------------------ *)
+(* Chunk kernels                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The streaming operators are built as per-chunk kernels compiled once
+   per plan node; the whole-relation entry points run the same kernel
+   over the relation as a single chunk, so there is exactly one
+   implementation of each operator's semantics. *)
+
+let select_kernel schema pred =
   Expr.typecheck_bool [| schema |] pred;
   let p = Expr.compile schema pred in
-  Relation.filter (fun row -> Expr.is_true (p row)) rel
+  fun c ->
+    let out = Vec.create ~capacity:(max 1 (Chunk.length c)) ~dummy:dummy_row () in
+    Chunk.iter (fun row -> if Expr.is_true (p row) then Vec.push out row) c;
+    Chunk.of_rows (Chunk.schema c) (Vec.to_array out)
 
-let project exprs rel =
-  let schema = Relation.schema rel in
+let select pred rel =
+  let k = select_kernel (Relation.schema rel) pred in
+  Chunk.to_relation (k (Chunk.whole rel))
+
+let select_source pred src =
+  let k = select_kernel (Chunk.Source.schema src) pred in
+  Chunk.Source.map k src
+
+let map_kernel out_schema row_fn c =
+  let buf = Chunk.buffer c and off = Chunk.offset c in
+  Chunk.of_rows out_schema (Array.init (Chunk.length c) (fun i -> row_fn buf.(off + i)))
+
+let project_kernel schema exprs =
   let out_attrs =
     List.map
       (fun (e, name) ->
@@ -63,47 +85,80 @@ let project exprs rel =
   in
   let out_schema = Schema.of_list out_attrs in
   let fns = Array.of_list (List.map (fun (e, _) -> Expr.compile schema e) exprs) in
-  let rows =
-    Array.map (fun row -> Array.map (fun f -> f row) fns) (Relation.rows rel)
-  in
-  Relation.create ~check:false out_schema rows
+  (out_schema, map_kernel out_schema (fun row -> Array.map (fun f -> f row) fns))
 
-let dedup_rows rows =
-  let seen = Hashtbl.create (max 16 (Array.length rows)) in
+let project exprs rel =
+  let _, k = project_kernel (Relation.schema rel) exprs in
+  Chunk.to_relation (k (Chunk.whole rel))
+
+let project_source exprs src =
+  let out_schema, k = project_kernel (Chunk.Source.schema src) exprs in
+  Chunk.Source.map ~schema:out_schema k src
+
+let project_cols_kernel schema cols =
+  let idxs =
+    Array.of_list (List.map (fun (rel_q, name) -> Schema.find schema ?rel:rel_q name) cols)
+  in
+  let out_schema = Schema.project schema idxs in
+  (out_schema, map_kernel out_schema (fun row -> Tuple.project row idxs))
+
+let dedup_into iter_rows =
+  let seen = Hashtbl.create 64 in
   let out = Vec.create ~dummy:dummy_row () in
-  Array.iter
-    (fun row ->
+  iter_rows (fun row ->
       let h = Tuple.hash row in
       let bucket = Hashtbl.find_all seen h in
       if not (List.exists (Tuple.equal row) bucket) then begin
         Hashtbl.add seen h row;
         Vec.push out row
-      end)
-    rows;
+      end);
   Vec.to_array out
 
+let dedup_rows rows = dedup_into (fun f -> Array.iter f rows)
+
 let project_cols ?(distinct = false) cols rel =
-  let schema = Relation.schema rel in
-  let idxs =
-    Array.of_list (List.map (fun (rel_q, name) -> Schema.find schema ?rel:rel_q name) cols)
-  in
-  let out_schema = Schema.project schema idxs in
-  let rows = Array.map (fun row -> Tuple.project row idxs) (Relation.rows rel) in
+  let out_schema, k = project_cols_kernel (Relation.schema rel) cols in
+  let rows = Chunk.to_rows (k (Chunk.whole rel)) in
   let rows = if distinct then dedup_rows rows else rows in
   Relation.create ~check:false out_schema rows
+
+let project_cols_source cols src =
+  let out_schema, k = project_cols_kernel (Chunk.Source.schema src) cols in
+  Chunk.Source.map ~schema:out_schema k src
 
 let distinct rel =
   Relation.create ~check:false (Relation.schema rel) (dedup_rows (Relation.rows rel))
 
-let add_rownum name rel =
-  let schema = Relation.schema rel in
+let distinct_source src =
+  let schema = Chunk.Source.schema src in
+  Relation.create ~check:false schema
+    (dedup_into (fun f -> Chunk.Source.iter (Chunk.iter f) src))
+
+let rename_source alias src =
+  let schema = Schema.rename_rel alias (Chunk.Source.schema src) in
+  Chunk.Source.map ~schema (Chunk.with_schema schema) src
+
+let add_rownum_kernel schema name =
   let out_schema = Schema.concat schema [| Schema.attr name Value.Tint |] in
-  let rows =
-    Array.mapi
-      (fun i row -> Tuple.concat row [| Value.Int i |])
-      (Relation.rows rel)
-  in
-  Relation.create ~check:false out_schema rows
+  let seen = ref 0 in
+  ( out_schema,
+    fun c ->
+      let buf = Chunk.buffer c and off = Chunk.offset c in
+      let base = !seen in
+      let rows =
+        Array.init (Chunk.length c) (fun i ->
+            Tuple.concat buf.(off + i) [| Value.Int (base + i) |])
+      in
+      seen := base + Chunk.length c;
+      Chunk.of_rows out_schema rows )
+
+let add_rownum name rel =
+  let _, k = add_rownum_kernel (Relation.schema rel) name in
+  Chunk.to_relation (k (Chunk.whole rel))
+
+let add_rownum_source name src =
+  let out_schema, k = add_rownum_kernel (Chunk.Source.schema src) name in
+  Chunk.Source.map ~schema:out_schema k src
 
 let product left right =
   let out_schema = Schema.concat (Relation.schema left) (Relation.schema right) in
@@ -212,8 +267,10 @@ end)
 let agg_schema frames aggs =
   List.map (fun spec -> Schema.attr spec.Aggregate.name (Aggregate.output_ty frames spec)) aggs
 
-let group_by ~keys ~aggs rel =
-  let schema = Relation.schema rel in
+(* Grouping and full aggregation are pipeline breakers, but they consume
+   their input a row at a time: the streamed variants fold chunks into
+   the group hash table without ever materializing the input. *)
+let group_by_core ~schema ~keys ~aggs iter_rows =
   let key_idxs =
     Array.of_list (List.map (fun (rel_q, name) -> Schema.find schema ?rel:rel_q name) keys)
   in
@@ -221,13 +278,10 @@ let group_by ~keys ~aggs rel =
   let frames = [| schema |] in
   let out_schema = Schema.concat key_schema (Schema.of_list (agg_schema frames aggs)) in
   let compiled = List.map (Aggregate.compile frames) aggs in
-  let groups : (Tuple.t * Aggregate.acc list) Group_table.t =
-    Group_table.create (max 16 (Relation.cardinality rel))
-  in
+  let groups : (Tuple.t * Aggregate.acc list) Group_table.t = Group_table.create 64 in
   let order = Vec.create ~dummy:dummy_row () in
   let ctx = [| Tuple.empty |] in
-  Relation.iter
-    (fun row ->
+  iter_rows (fun row ->
       let key = Tuple.project row key_idxs in
       let accs =
         match Group_table.find_opt groups key with
@@ -239,8 +293,7 @@ let group_by ~keys ~aggs rel =
           accs
       in
       ctx.(0) <- row;
-      List.iter (fun acc -> Aggregate.step acc ctx) accs)
-    rel;
+      List.iter (fun acc -> Aggregate.step acc ctx) accs);
   let out = Vec.create ~dummy:dummy_row () in
   Vec.iter
     (fun key ->
@@ -250,29 +303,46 @@ let group_by ~keys ~aggs rel =
     order;
   Relation.create ~check:false out_schema (Vec.to_array out)
 
-let aggregate_all aggs rel =
-  let schema = Relation.schema rel in
+let group_by ~keys ~aggs rel =
+  group_by_core ~schema:(Relation.schema rel) ~keys ~aggs (fun f -> Relation.iter f rel)
+
+let group_by_source ~keys ~aggs src =
+  group_by_core ~schema:(Chunk.Source.schema src) ~keys ~aggs (fun f ->
+      Chunk.Source.iter (Chunk.iter f) src)
+
+let aggregate_all_core ~schema aggs iter_rows =
   let frames = [| schema |] in
   let out_schema = Schema.of_list (agg_schema frames aggs) in
   let compiled = List.map (Aggregate.compile frames) aggs in
   let accs = List.map Aggregate.make compiled in
   let ctx = [| Tuple.empty |] in
-  Relation.iter
-    (fun row ->
+  iter_rows (fun row ->
       ctx.(0) <- row;
-      List.iter (fun acc -> Aggregate.step acc ctx) accs)
-    rel;
+      List.iter (fun acc -> Aggregate.step acc ctx) accs);
   let row = Array.of_list (List.map Aggregate.value accs) in
   Relation.create ~check:false out_schema [| row |]
 
+let aggregate_all aggs rel =
+  aggregate_all_core ~schema:(Relation.schema rel) aggs (fun f -> Relation.iter f rel)
+
+let aggregate_all_source aggs src =
+  aggregate_all_core ~schema:(Chunk.Source.schema src) aggs (fun f ->
+      Chunk.Source.iter (Chunk.iter f) src)
+
+let check_compatible_schemas name a b =
+  if not (Schema.equal_names a b) then invalid_arg (name ^ ": incompatible schemas")
+
 let check_compatible name a b =
-  if not (Schema.equal_names (Relation.schema a) (Relation.schema b)) then
-    invalid_arg (name ^ ": incompatible schemas")
+  check_compatible_schemas name (Relation.schema a) (Relation.schema b)
 
 let union_all a b =
   check_compatible "union_all" a b;
   Relation.create ~check:false (Relation.schema a)
     (Array.append (Relation.rows a) (Relation.rows b))
+
+let union_all_source a b =
+  check_compatible_schemas "union_all" (Chunk.Source.schema a) (Chunk.Source.schema b);
+  Chunk.Source.concat a b
 
 let union a b = distinct (union_all a b)
 

@@ -74,3 +74,41 @@ val sort :
   by:((string option * string) * [ `Asc | `Desc ]) list -> Relation.t -> Relation.t
 
 val limit : int -> Relation.t -> Relation.t
+
+(** {1 Streaming variants}
+
+    Chunk-at-a-time counterparts used by the streaming executor.  Each
+    is the same kernel as the whole-relation operator above — compiled
+    once at plan time, applied per chunk — so both paths share one
+    implementation of the operator's semantics.
+
+    [select_source] / [project_source] / [project_cols_source] /
+    [rename_source] / [add_rownum_source] / [union_all_source] are fully
+    pipelined (chunk in, chunk out).  [group_by_source],
+    [aggregate_all_source] and [distinct_source] are pipeline breakers
+    that still consume their input incrementally: they fold the stream
+    into bounded per-group state without materializing the input. *)
+
+val select_source : Expr.t -> Chunk.Source.t -> Chunk.Source.t
+
+val project_source : (Expr.t * string) list -> Chunk.Source.t -> Chunk.Source.t
+
+val project_cols_source : (string option * string) list -> Chunk.Source.t -> Chunk.Source.t
+
+val rename_source : string -> Chunk.Source.t -> Chunk.Source.t
+(** Requalify every attribute to the alias, sharing row storage. *)
+
+val add_rownum_source : string -> Chunk.Source.t -> Chunk.Source.t
+
+val union_all_source : Chunk.Source.t -> Chunk.Source.t -> Chunk.Source.t
+(** @raise Invalid_argument if the schemas differ positionally. *)
+
+val distinct_source : Chunk.Source.t -> Relation.t
+
+val group_by_source :
+  keys:(string option * string) list ->
+  aggs:Aggregate.spec list ->
+  Chunk.Source.t ->
+  Relation.t
+
+val aggregate_all_source : Aggregate.spec list -> Chunk.Source.t -> Relation.t

@@ -52,7 +52,10 @@ let of_csv_channel schema ic =
       loop ()
   in
   loop ();
-  Relation.create ~check:false schema (Vec.to_array rows)
+  (* CSV is an ingestion boundary: verify every parsed row against the
+     declared schema (engine-internal constructions skip the check —
+     their typing is certified upstream). *)
+  Relation.create ~check:true schema (Vec.to_array rows)
 
 let of_csv_file schema path =
   let ic = open_in path in

@@ -8,11 +8,18 @@ let length v = v.len
 
 let is_empty v = v.len = 0
 
-let grow v =
-  let cap = Array.length v.data in
-  let data = Array.make (2 * cap) v.dummy in
-  Array.blit v.data 0 data 0 v.len;
-  v.data <- data
+let reserve v n =
+  if n > Array.length v.data then begin
+    let cap = ref (Array.length v.data) in
+    while !cap < n do
+      cap := 2 * !cap
+    done;
+    let data = Array.make !cap v.dummy in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let grow v = reserve v (1 + Array.length v.data)
 
 let push v x =
   if v.len = Array.length v.data then grow v;
@@ -69,4 +76,13 @@ let of_array ~dummy a =
   v.len <- n;
   v
 
-let append dst src = iter (push dst) src
+let blit src srcoff dst dstoff len =
+  if len < 0 || srcoff < 0 || srcoff + len > Array.length src then
+    invalid_arg "Vec.blit: source range out of bounds";
+  if dstoff < 0 || dstoff > dst.len then
+    invalid_arg "Vec.blit: destination offset out of bounds";
+  reserve dst (dstoff + len);
+  Array.blit src srcoff dst.data dstoff len;
+  dst.len <- max dst.len (dstoff + len)
+
+let append dst src = blit src.data 0 dst dst.len src.len

@@ -39,5 +39,14 @@ val to_list : 'a t -> 'a list
 
 val of_array : dummy:'a -> 'a array -> 'a t
 
+val blit : 'a array -> int -> 'a t -> int -> int -> unit
+(** [blit src srcoff dst dstoff len] copies [len] elements of the array
+    [src] starting at [srcoff] into the vector at [dstoff], growing it as
+    needed.  [dstoff] may not exceed [length dst] (no holes).  This is
+    the bulk path used by chunked accumulation — one [Array.blit] per
+    batch instead of a push per element.
+    @raise Invalid_argument on an out-of-bounds range. *)
+
 val append : 'a t -> 'a t -> unit
-(** [append dst src] pushes every element of [src] onto [dst]. *)
+(** [append dst src] appends every element of [src] onto [dst] with a
+    single blit. *)

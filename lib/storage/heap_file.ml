@@ -107,22 +107,32 @@ let read_page t page_no =
   really_read t.fd buf;
   buf
 
+let decode_page t page_no ~pool =
+  let page =
+    Buffer_pool.fetch pool ~key:(t.path, page_no) ~load:(fun () -> read_page t page_no)
+  in
+  let n = Bytes.get_uint16_le page 0 in
+  let pos = ref 2 in
+  Array.init n (fun _ -> Codec.decode_tuple page ~pos ~arity:(Schema.arity t.schema))
+
 let scan_pages t ~pool f =
   for page_no = 0 to t.pages - 1 do
-    let page =
-      Buffer_pool.fetch pool ~key:(t.path, page_no) ~load:(fun () -> read_page t page_no)
-    in
-    let n = Bytes.get_uint16_le page 0 in
-    let pos = ref 2 in
-    let rows =
-      Array.init n (fun _ -> Codec.decode_tuple page ~pos ~arity:(Schema.arity t.schema))
-    in
-    f rows
+    f (decode_page t page_no ~pool)
   done
 
 let scan t ~pool f = scan_pages t ~pool (fun rows -> Array.iter f rows)
 
+let source t ~pool =
+  let page_no = ref 0 in
+  Chunk.Source.create ~schema:t.schema (fun () ->
+      if !page_no >= t.pages then None
+      else begin
+        let rows = decode_page t !page_no ~pool in
+        incr page_no;
+        Some (Chunk.of_rows t.schema rows)
+      end)
+
 let to_relation t ~pool =
   let out = Vec.create ~capacity:(max 1 t.row_count) ~dummy:Tuple.empty () in
-  scan t ~pool (Vec.push out);
+  scan_pages t ~pool (fun rows -> Vec.blit rows 0 out (Vec.length out) (Array.length rows));
   Relation.create ~check:false t.schema (Vec.to_array out)

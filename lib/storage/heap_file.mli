@@ -36,4 +36,10 @@ val scan : t -> pool:Buffer_pool.t -> (Tuple.t -> unit) -> unit
 val scan_pages : t -> pool:Buffer_pool.t -> (Tuple.t array -> unit) -> unit
 (** Page-at-a-time variant. *)
 
+val source : t -> pool:Buffer_pool.t -> Chunk.Source.t
+(** A pull-based stream over the file: one chunk per data page, each
+    fetched through the pool as it is pulled.  Closing the source early
+    simply stops fetching (the handle stays open) — peak memory is one
+    decoded page, not the relation. *)
+
 val to_relation : t -> pool:Buffer_pool.t -> Relation.t

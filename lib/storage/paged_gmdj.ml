@@ -1,30 +1,21 @@
 open Subql_relational
 open Subql_gmdj
 
-let publish ~passes ~rows =
-  let open Subql_obs in
-  let c name = Metrics.counter Metrics.default ("gmdj." ^ name) in
-  Metrics.incr ~by:passes (c "detail_passes");
-  Metrics.incr ~by:rows (c "detail_rows_scanned")
-
 let eval ?stats ~pool ~base ~detail blocks =
   Subql_obs.Trace.with_
     ~attrs:[ ("blocks", string_of_int (List.length blocks)) ]
     "gmdj.paged_eval"
   @@ fun () ->
-  let schema = Heap_file.schema detail in
-  let view = Gmdj.Maintain.create ~base ~detail:(Relation.empty schema) blocks in
-  let rows_seen = ref 0 in
-  Heap_file.scan_pages detail ~pool (fun rows ->
-      rows_seen := !rows_seen + Array.length rows;
-      Gmdj.Maintain.insert_detail view (Relation.create ~check:false schema rows));
-  (match stats with
-  | Some s ->
-    s.Gmdj.detail_passes <- s.Gmdj.detail_passes + 1;
-    s.Gmdj.detail_scanned <- s.Gmdj.detail_scanned + !rows_seen
-  | None -> ());
-  publish ~passes:1 ~rows:!rows_seen;
-  Gmdj.Maintain.result view
+  let acc =
+    Gmdj.Fold.start ?stats ~base ~detail:(Heap_file.schema detail) blocks
+  in
+  let acc =
+    Chunk.Source.fold
+      (fun acc c -> Gmdj.Fold.fold_detail c acc)
+      acc
+      (Heap_file.source detail ~pool)
+  in
+  Gmdj.Fold.finish acc
 
 let eval_chained ?stats ~pool ~base ~detail chain =
   List.fold_left (fun acc blocks -> eval ?stats ~pool ~base:acc ~detail blocks) base chain

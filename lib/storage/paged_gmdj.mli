@@ -1,7 +1,8 @@
 (** GMDJ evaluation over a disk-resident detail relation.
 
     The detail heap file streams page by page through the buffer pool
-    into the live-accumulator machinery, so the pool statistics report
+    into the chunk-consuming fold core ({!Gmdj.Fold}), so the pool
+    statistics report
     the exact page I/O a plan performs — making the paper's central cost
     argument observable: a (coalesced) GMDJ touches every detail page
     once, chained GMDJs once per operator, and the working set on the

@@ -113,4 +113,27 @@ print("BENCH_mqo.json: well-formed, verified, scans %d -> %d"
 PY
 
 echo
+echo "== bench smoke test: exec target gates streaming-executor regressions =="
+# The exec benchmark self-verifies (streamed == in-memory results, peak
+# independent of |detail|); on top of that, gate its memory and I/O
+# numbers against the committed baseline: >10% worse on peak
+# materialized rows or page reads fails the check.
+dune exec bench/main.exe -- exec > /dev/null
+python3 - <<'PY'
+import json, sys
+with open("BENCH_exec.json") as f:
+    fresh = json.load(f)
+with open("bench/BENCH_exec.baseline.json") as f:
+    base = json.load(f)
+if fresh["verified"] is not True:
+    sys.exit("FAIL: BENCH_exec.json reports verified != true")
+for key in ("peak_rows", "peak_rows_2x", "chained_page_reads", "coalesced_page_reads"):
+    if fresh[key] > base[key] * 1.1:
+        sys.exit(f"FAIL: {key} regressed >10%: {base[key]} -> {fresh[key]}")
+print("BENCH_exec.json: verified, peak %d rows (2x detail: %d), page reads %d chained / %d coalesced"
+      % (fresh["peak_rows"], fresh["peak_rows_2x"],
+         fresh["chained_page_reads"], fresh["coalesced_page_reads"]))
+PY
+
+echo
 echo "check.sh: OK"

@@ -160,6 +160,18 @@ let engines_agree (query, db) =
           (Subql.Transform.to_algebra query))
   && check "gmdj-opt"
        (Subql.Eval.eval catalog (Subql.Optimize.optimize (Subql.Transform.to_algebra query)))
+  && check "gmdj-exec"
+       ((* Streamed in small anonymous chunks: [Chunk.Source.map] drops the
+           whole-relation origin, so every operator takes its genuinely
+           chunked path instead of the zero-copy shortcut. *)
+        let sources table =
+          Catalog.find_opt catalog table
+          |> Option.map (fun rel ->
+                 Chunk.Source.map Fun.id (Chunk.Source.of_relation ~chunk_rows:3 rel))
+        in
+        fst
+          (Subql.Eval.eval_exec ~sources catalog
+             (Subql.Optimize.optimize (Subql.Transform.to_algebra query))))
   && check "unnest-joins"
        (Subql.Eval.eval catalog (Subql_unnest.Unnest.via_joins catalog query))
   && (match Subql_unnest.Unnest.via_semijoins catalog query with

@@ -100,6 +100,43 @@ let test_heap_errors () =
         Heap_file.close hf2;
         Alcotest.fail "oversized tuple must be rejected")
 
+(* The three read paths — tuple-at-a-time [scan], page-at-a-time
+   [scan_pages] and the pull [source] — must deliver the same tuples in
+   the same (file) order, and the source must complete on a pool smaller
+   than the file without growing past its frame budget. *)
+let test_source_matches_scan () =
+  let rel = mk_rel 1200 in
+  with_file rel ~page_size:512 (fun _path hf ->
+      let frames = 3 in
+      Alcotest.(check bool) "file exceeds pool" true (Heap_file.pages hf > frames);
+      let via_scan =
+        let pool = Buffer_pool.create ~frames in
+        let acc = ref [] in
+        Heap_file.scan hf ~pool (fun t -> acc := t :: !acc);
+        List.rev !acc
+      in
+      let via_pages =
+        let pool = Buffer_pool.create ~frames in
+        let acc = ref [] in
+        Heap_file.scan_pages hf ~pool (fun page ->
+            Array.iter (fun t -> acc := t :: !acc) page);
+        List.rev !acc
+      in
+      let via_source, resident =
+        let pool = Buffer_pool.create ~frames in
+        let rows =
+          Chunk.Source.fold
+            (fun acc chunk -> Chunk.fold (fun acc t -> t :: acc) acc chunk)
+            [] (Heap_file.source hf ~pool)
+        in
+        (List.rev rows, Buffer_pool.resident pool)
+      in
+      let same_order a b = List.length a = List.length b && List.for_all2 Tuple.equal a b in
+      Alcotest.(check bool) "scan_pages order matches scan" true (same_order via_scan via_pages);
+      Alcotest.(check bool) "source order matches scan" true (same_order via_scan via_source);
+      Alcotest.(check int) "all rows delivered" 1200 (List.length via_source);
+      Alcotest.(check bool) "pool stays within frames" true (resident <= frames))
+
 (* --- Buffer pool ---------------------------------------------------------- *)
 
 let test_pool_caching () =
@@ -186,6 +223,8 @@ let () =
         [
           Alcotest.test_case "write/scan/reopen" `Quick test_heap_roundtrip;
           Alcotest.test_case "validation" `Quick test_heap_errors;
+          Alcotest.test_case "source matches scan on a small pool" `Quick
+            test_source_matches_scan;
         ] );
       ("buffer-pool", [ Alcotest.test_case "caching and eviction" `Quick test_pool_caching ]);
       ( "paged-gmdj",
