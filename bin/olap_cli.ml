@@ -414,10 +414,288 @@ let analyze_cmd =
       const run $ data_arg $ workload_arg $ flows_arg $ users_arg $ scale_arg $ seed_arg
       $ zoo_arg $ json_arg $ no_verify_arg $ sql_opt_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Serving loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Subql_server.Server
+module Admission = Subql_server.Admission
+module Driver = Subql_server.Driver
+
+let batch_window_arg =
+  Arg.(value & opt float 0.02 & info [ "batch-window" ] ~docv:"SECONDS"
+         ~doc:"Seal a batch once its oldest request has waited $(docv).")
+
+let batch_max_arg =
+  Arg.(value & opt int 16 & info [ "batch-max" ] ~docv:"N"
+         ~doc:"Seal a batch early once $(docv) requests are queued.")
+
+let mem_budget_arg =
+  Arg.(value & opt float 0. & info [ "mem-budget" ] ~docv:"ROWS"
+         ~doc:"Per-query memory budget: reject plans whose predicted peak of \
+               materialized rows (Cost.memory_height) exceeds $(docv); 0 disables \
+               the gate.")
+
+let queue_cap_arg =
+  Arg.(value & opt int 128 & info [ "queue-cap" ] ~docv:"N"
+         ~doc:"Request-queue depth cap; submits against a full queue are shed with \
+               a retry hint.")
+
+let serve_min_cost_arg =
+  Arg.(value & opt float 0. & info [ "cache-min-cost" ] ~docv:"COST"
+         ~doc:"Result-cache admission threshold (plan cost estimate).")
+
+let serve_metrics_arg =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"On exit, dump the metrics registry (includes the server.* series).")
+
+let server_config window bmax mem_budget qcap =
+  {
+    Server.batch_window = window;
+    batch_max = bmax;
+    policy =
+      {
+        Admission.mem_budget_rows = (if mem_budget <= 0. then infinity else mem_budget);
+        queue_cap = qcap;
+      };
+    eval_config = Subql.Eval.default_config;
+  }
+
+let pp_rejection ppf (r : Admission.rejection) =
+  Format.fprintf ppf "rejected [%s] %s%s" r.Admission.diag.Diag.code
+    r.Admission.diag.Diag.message
+    (match r.Admission.retry_after with
+    | Some s -> Printf.sprintf " (retry in %.3fs)" s
+    | None -> "")
+
+let print_batch (b : Server.batch_result) =
+  List.iter
+    (fun (c : Server.completion) ->
+      Format.printf "%s: %d rows in %.3fs@." c.Server.ticket.Server.label
+        (Relation.cardinality c.Server.result)
+        (c.Server.completed -. c.Server.ticket.Server.submitted))
+    b.Server.completions;
+  let r = b.Server.report in
+  Format.printf "batch of %d: %d detail scans (naive %d), %d cache hits@."
+    (List.length b.Server.completions)
+    r.Subql_mqo.Batch.shared_detail_scans r.Subql_mqo.Batch.naive_detail_scans
+    r.Subql_mqo.Batch.cache_hits
+
+let latency_quantile registry q =
+  let snap = Subql_obs.Metrics.snapshot registry in
+  match List.assoc_opt "server.latency_seconds" snap.Subql_obs.Metrics.histograms with
+  | Some h -> Subql_obs.Metrics.quantile h q
+  | None -> 0.
+
+let print_server_summary registry =
+  let c name = Subql_obs.Metrics.counter_value_by_name registry name in
+  Format.printf "served %d queries in %d batches; rejected %d (budget %d, shed %d)@."
+    (c "server.queries_served") (c "server.batches") (c "server.rejected")
+    (c "server.rejected.budget") (c "server.rejected.queue");
+  if c "server.queries_served" > 0 then
+    Format.printf "latency p50 %.1fms, p99 %.1fms@."
+      (1000. *. latency_quantile registry 0.5)
+      (1000. *. latency_quantile registry 0.99)
+
+let serve_cmd =
+  let run data workload flows users scale seed window bmax mem_budget qcap min_cost
+      metrics =
+    let catalog = resolve_catalog data workload flows users scale seed in
+    let config = server_config window bmax mem_budget qcap in
+    let cache = Subql_mqo.Result_cache.create ~min_cost () in
+    let server = Server.create ~config ~cache catalog in
+    let now () = Unix.gettimeofday () in
+    Format.printf
+      "serving (catalog resident, %d tables): batch window %.3fs, batch max %d, \
+       queue cap %d, mem budget %s@.reading semicolon-terminated SQL from stdin; \
+       EOF drains and exits@."
+      (List.length (Catalog.tables catalog))
+      window bmax qcap
+      (if mem_budget <= 0. then "unlimited"
+       else Printf.sprintf "%.0f rows" mem_budget);
+    let step_due () =
+      let rec go () =
+        match Server.step server ~now:(now ()) with
+        | Some b ->
+          print_batch b;
+          go ()
+        | None -> ()
+      in
+      go ()
+    in
+    let submit_stmt sql =
+      match Subql_sql.Parser.parse sql with
+      | exception Subql_sql.Parser.Parse_error _ ->
+        prerr_endline (Subql_sql.Parser.parse_exn_to_string sql)
+      | stmt -> (
+        match Server.submit server ~now:(now ()) stmt.Subql_sql.Parser.query with
+        | Ok _ -> step_due () (* the submit may have size-sealed a batch *)
+        | Error r -> Format.printf "%a@." pp_rejection r)
+    in
+    (* Split the input buffer into complete statements, keeping the
+       trailing fragment. *)
+    let pending = Buffer.create 256 in
+    let flush_complete () =
+      let text = Buffer.contents pending in
+      Buffer.clear pending;
+      let parts = String.split_on_char ';' text in
+      let rec go = function
+        | [] -> ()
+        | [ tail ] -> Buffer.add_string pending tail
+        | stmt :: rest ->
+          if String.trim stmt <> "" then submit_stmt (String.trim stmt);
+          go rest
+      in
+      go parts
+    in
+    let chunk = Bytes.create 4096 in
+    let rec loop () =
+      let timeout =
+        match Server.next_deadline server with
+        | Some d -> Float.max 0. (d -. now ())
+        | None -> -1. (* idle: block until input *)
+      in
+      match Unix.select [ Unix.stdin ] [] [] timeout with
+      | [], _, _ ->
+        step_due ();
+        loop ()
+      | _ :: _, _, _ ->
+        let n = Unix.read Unix.stdin chunk 0 (Bytes.length chunk) in
+        if n = 0 then () (* EOF *)
+        else begin
+          Buffer.add_subbytes pending chunk 0 n;
+          flush_complete ();
+          loop ()
+        end
+    in
+    loop ();
+    let tail = String.trim (Buffer.contents pending) in
+    if tail <> "" then submit_stmt tail;
+    List.iter print_batch (Server.shutdown server ~now:(now ()));
+    print_server_summary Subql_obs.Metrics.default;
+    if metrics then
+      Format.printf "@.== metrics ==@.%s"
+        (Subql_obs.Metrics.render Subql_obs.Metrics.default)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Long-lived serving loop: read a SQL stream from stdin, admit it in \
+             time/size-bounded batches with memory budgets and queue backpressure, \
+             drain on EOF")
+    Term.(
+      const run $ data_arg $ workload_arg $ flows_arg $ users_arg $ scale_arg $ seed_arg
+      $ batch_window_arg $ batch_max_arg $ mem_budget_arg $ queue_cap_arg
+      $ serve_min_cost_arg $ serve_metrics_arg)
+
+let drive_cmd =
+  let outer_arg =
+    Arg.(value & opt int 64 & info [ "outer" ] ~doc:"Rows in the zoo's outer table O.")
+  in
+  let inner_arg =
+    Arg.(value & opt int 10_000 & info [ "inner" ] ~doc:"Rows in each of I and J.")
+  in
+  let rate_arg =
+    Arg.(value & opt float 200. & info [ "rate" ] ~docv:"QPS"
+           ~doc:"Open-loop arrival rate (Poisson), queries per virtual second.")
+  in
+  let queries_arg =
+    Arg.(value & opt int 400 & info [ "queries" ] ~docv:"N"
+           ~doc:"Total queries to offer (open loop) or per client (closed loop).")
+  in
+  let skew_arg =
+    Arg.(value & opt float 0.8 & info [ "skew" ]
+           ~doc:"Probability a draw comes from the shareable same-detail templates.")
+  in
+  let mode_arg =
+    Arg.(value & opt string "open" & info [ "mode" ] ~docv:"open|closed"
+           ~doc:"Open loop (imposed Poisson arrivals, sheds dropped) or closed loop \
+                 (clients wait for responses, sheds retried).")
+  in
+  let clients_arg =
+    Arg.(value & opt int 8 & info [ "clients" ] ~doc:"Client population (closed loop).")
+  in
+  let think_arg =
+    Arg.(value & opt float 0.005 & info [ "think" ] ~docv:"SECONDS"
+           ~doc:"Per-client think time between queries (closed loop).")
+  in
+  let run outer inner seed window bmax mem_budget qcap min_cost metrics rate queries
+      skew mode clients think =
+    let catalog = Subql_workload.Zoo.catalog ~outer ~inner () in
+    let config = server_config window bmax mem_budget qcap in
+    let cache = Subql_mqo.Result_cache.create ~min_cost () in
+    let server = Server.create ~config ~cache catalog in
+    let tseed = Int64.of_int seed in
+    let summary =
+      match mode with
+      | "open" ->
+        let events =
+          Subql_workload.Traffic.open_loop ~seed:tseed ~rate ~count:queries ~skew ()
+          |> List.map (fun (a : Subql_workload.Traffic.arrival) ->
+                 {
+                   Driver.at = a.Subql_workload.Traffic.at;
+                   label = a.Subql_workload.Traffic.template;
+                   query =
+                     Subql_workload.Zoo.find_query a.Subql_workload.Traffic.template;
+                 })
+        in
+        Format.printf "drive: open loop, %d queries at %.0f q/s (skew %.2f, seed %d)@."
+          queries rate skew seed;
+        Driver.replay server events
+      | "closed" ->
+        let streams =
+          Subql_workload.Traffic.closed_loop ~seed:tseed ~clients ~per_client:queries
+            ~skew ()
+          |> List.map
+               (List.map (fun t -> (t, Subql_workload.Zoo.find_query t)))
+        in
+        Format.printf
+          "drive: closed loop, %d clients x %d queries, think %.3fs (skew %.2f, seed %d)@."
+          clients queries think skew seed;
+        Driver.run_closed server ~clients:streams ~think
+      | other -> failwith (Printf.sprintf "unknown mode %S (use open or closed)" other)
+    in
+    Format.printf "offered %d, completed %d, shed %d, budget-rejected %d, batches %d@."
+      summary.Driver.offered summary.Driver.completed summary.Driver.shed
+      summary.Driver.rejected_budget summary.Driver.batches;
+    let p q = 1000. *. Driver.percentile summary.Driver.latencies q in
+    Format.printf "latency p50 %.1fms, p90 %.1fms, p99 %.1fms, max %.1fms@." (p 50.)
+      (p 90.) (p 99.) (p 100.);
+    if summary.Driver.duration > 0. then
+      Format.printf "throughput %.1f q/s over %.3fs virtual (%.3fs measured evaluation)@."
+        (float_of_int summary.Driver.completed /. summary.Driver.duration)
+        summary.Driver.duration summary.Driver.exec_seconds;
+    let per_query =
+      if summary.Driver.completed = 0 then 0.
+      else float_of_int summary.Driver.detail_scans /. float_of_int summary.Driver.completed
+    in
+    Format.printf
+      "detail scans/query %.3f (naive %.2f); cache hits %d/%d; peak queue depth %d@."
+      per_query
+      (if summary.Driver.completed = 0 then 0.
+       else
+         float_of_int summary.Driver.naive_detail_scans
+         /. float_of_int summary.Driver.completed)
+      summary.Driver.cache_hits
+      (summary.Driver.cache_hits + summary.Driver.cache_misses)
+      summary.Driver.max_queue_depth;
+    if metrics then
+      Format.printf "@.== metrics ==@.%s"
+        (Subql_obs.Metrics.render Subql_obs.Metrics.default)
+  in
+  Cmd.v
+    (Cmd.info "drive"
+       ~doc:"Generate a deterministic traffic trace over the query zoo and replay \
+             it against the serving loop, printing the latency summary")
+    Term.(
+      const run $ outer_arg $ inner_arg $ seed_arg $ batch_window_arg $ batch_max_arg
+      $ mem_budget_arg $ queue_cap_arg $ serve_min_cost_arg $ serve_metrics_arg
+      $ rate_arg $ queries_arg $ skew_arg $ mode_arg $ clients_arg $ think_arg)
+
 let bench_note_cmd =
   let run () =
     print_endline "The figure-reproduction harness lives in a separate executable:";
-    print_endline "  dune exec bench/main.exe -- [fig2|fig3|fig4|fig5|fig5-noindex|ablation|micro|all] [--full]"
+    print_endline
+      "  dune exec bench/main.exe -- [fig2|fig3|fig4|fig5|fig5-noindex|ablation|micro|obs|mqo|exec|serve|all] [--full]"
   in
   Cmd.v (Cmd.info "bench" ~doc:"Where to find the benchmark harness") Term.(const run $ const ())
 
@@ -427,4 +705,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; run_cmd; batch_cmd; explain_cmd; analyze_cmd; bench_note_cmd ]))
+          [
+            generate_cmd;
+            run_cmd;
+            batch_cmd;
+            serve_cmd;
+            drive_cmd;
+            explain_cmd;
+            analyze_cmd;
+            bench_note_cmd;
+          ]))

@@ -32,65 +32,65 @@ let count_mds plan =
 
 let solo_plan query = Optimize.optimize (Transform.to_algebra query)
 
-type miss = {
-  m_index : int;
-  m_fp : string;
-  m_shareable : Algebra.t;
-  m_solo : Algebra.t;
+type entry = {
+  e_fp : string;
+  e_shareable : Algebra.t Lazy.t;
+      (* only cache misses need the shareable form; admission-time
+         preparation must stay cheap for queries the cache answers *)
+  e_solo : Algebra.t;
 }
 
-let run ?(config = Eval.default_config) ?cache
-    ?(registry = Subql_obs.Metrics.default) catalog queries =
+let prepare query =
+  {
+    e_fp = Fingerprint.of_query query;
+    e_shareable = lazy (Share.shareable_plan query);
+    e_solo = solo_plan query;
+  }
+
+let fingerprint e = e.e_fp
+
+let run_prepared ?(config = Eval.default_config) ?cache
+    ?(registry = Subql_obs.Metrics.default) catalog entries =
   let cache =
     match cache with Some c -> c | None -> Result_cache.create ~registry ()
   in
   let stats = Cost.Stats.of_catalog catalog in
-  (* Phase 1: fingerprint and consult the cache. *)
+  (* Phase 1: consult the cache under the prepared fingerprints. *)
   let looked =
-    List.mapi
-      (fun i q ->
-        let fp = Fingerprint.of_query q in
-        (i, q, fp, Result_cache.lookup cache fp))
-      queries
+    List.mapi (fun i e -> (i, e, Result_cache.lookup cache e.e_fp)) entries
   in
   let hits =
-    List.filter_map (fun (i, _, _, r) -> Option.map (fun r -> (i, r)) r) looked
+    List.filter_map (fun (i, _, r) -> Option.map (fun r -> (i, r)) r) looked
   in
   (* Phase 2: deduplicate the misses by fingerprint. *)
   let seen = Hashtbl.create 16 in
   let reps, dups =
     List.fold_left
-      (fun (reps, dups) (i, q, fp, cached) ->
+      (fun (reps, dups) (i, e, cached) ->
         if Option.is_some cached then (reps, dups)
         else
-          match Hashtbl.find_opt seen fp with
+          match Hashtbl.find_opt seen e.e_fp with
           | Some rep_index -> (reps, (i, rep_index) :: dups)
           | None ->
-            Hashtbl.add seen fp i;
-            ( {
-                m_index = i;
-                m_fp = fp;
-                m_shareable = Share.shareable_plan q;
-                m_solo = solo_plan q;
-              }
-              :: reps,
-              dups ))
+            Hashtbl.add seen e.e_fp i;
+            ((i, e) :: reps, dups))
       ([], []) looked
   in
   let reps = List.rev reps and dups = List.rev dups in
   (* Phase 3: plan the distinct misses for shared evaluation and run. *)
   let batch =
-    Share.plan catalog (List.map (fun m -> (m.m_index, m.m_shareable, m.m_solo)) reps)
+    Share.plan catalog
+      (List.map (fun (i, e) -> (i, Lazy.force e.e_shareable, e.e_solo)) reps)
   in
   let gmdj_stats = Subql_gmdj.Gmdj.fresh_stats () in
   let computed = Share.run ~config ~gmdj_stats ~registry catalog batch in
   (* Phase 4: admit computed results under the solo plan's cost. *)
   List.iter
-    (fun m ->
-      match List.assoc_opt m.m_index computed with
+    (fun (i, e) ->
+      match List.assoc_opt i computed with
       | Some result ->
-        let cost = (Cost.estimate stats ~config m.m_solo).Cost.cost in
-        ignore (Result_cache.store cache ~fingerprint:m.m_fp ~cost result)
+        let cost = (Cost.estimate stats ~config e.e_solo).Cost.cost in
+        ignore (Result_cache.store cache ~fingerprint:e.e_fp ~cost result)
       | None -> ())
     reps;
   let dup_results = List.map (fun (i, rep) -> (i, List.assoc rep computed)) dups in
@@ -102,17 +102,8 @@ let run ?(config = Eval.default_config) ?cache
   (* The naive baseline: a cold, unshared run evaluates every GMDJ of
      every query's solo plan.  Duplicates count their representative's
      plan; cache hits count the plan they avoided running. *)
-  let md_counts = Hashtbl.create 16 in
-  List.iter (fun m -> Hashtbl.replace md_counts m.m_fp (count_mds m.m_solo)) reps;
   let naive_detail_scans =
-    List.fold_left
-      (fun acc (_, q, fp, _) ->
-        acc
-        +
-        match Hashtbl.find_opt md_counts fp with
-        | Some n -> n
-        | None -> count_mds (solo_plan q))
-      0 looked
+    List.fold_left (fun acc (_, e, _) -> acc + count_mds e.e_solo) 0 looked
   in
   {
     results;
@@ -127,6 +118,13 @@ let run ?(config = Eval.default_config) ?cache
     shared_detail_scans = gmdj_stats.Subql_gmdj.Gmdj.detail_passes;
     naive_detail_scans;
   }
+
+let run ?config ?cache ?registry catalog queries =
+  run_prepared ?config ?cache ?registry catalog (List.map prepare queries)
+
+(* Exported last: shadows the query-planning helper above with the
+   entry accessor the interface declares. *)
+let solo_plan e = e.e_solo
 
 let install_planner_cache cache =
   Planner.set_result_cache

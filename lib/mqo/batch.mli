@@ -44,6 +44,39 @@ val run :
     empty throwaway cache is used); pass a persistent cache to benefit
     across calls. *)
 
+(** {1 Prepared entries}
+
+    A long-lived caller (the serving loop in [Subql_server]) already
+    plans each query once at admission time — to price its memory
+    footprint — before the query ever reaches a batch.  Preparing an
+    entry keeps that work: the fingerprint and the solo plan are
+    computed eagerly (admission needs both), the shareable plan lazily
+    (only cache misses ever need it), and {!run_prepared} reuses all
+    three instead of replanning. *)
+
+type entry
+(** A query prepared for batch evaluation: fingerprint + solo plan
+    computed, shareable plan pending. *)
+
+val prepare : Subql_nested.Nested_ast.query -> entry
+
+val fingerprint : entry -> string
+
+val solo_plan : entry -> Subql.Algebra.t
+(** The fully optimized single-query plan — what admission control
+    prices with {!Subql.Cost.memory_height} and what the cache admits
+    results under. *)
+
+val run_prepared :
+  ?config:Subql.Eval.config ->
+  ?cache:Result_cache.t ->
+  ?registry:Subql_obs.Metrics.t ->
+  Catalog.t ->
+  entry list ->
+  report
+(** {!run} without the per-call planning: [run catalog qs] is
+    [run_prepared catalog (List.map prepare qs)]. *)
+
 val install_planner_cache : Result_cache.t -> unit
 (** Wire the cache into {!Subql.Planner}: [run_with_feedback] first
     consults it (a hit is a zero-cost candidate) and stores qualifying

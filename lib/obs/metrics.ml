@@ -129,6 +129,28 @@ let snapshot t =
     histograms = List.sort by_name !histograms;
   }
 
+let quantile h q =
+  if q < 0. || q > 1. then invalid_arg "Metrics.quantile: q must be in [0, 1]";
+  if h.count = 0 then 0.
+  else begin
+    (* Prometheus-style estimator: find the bucket containing the
+       q-th observation, interpolate linearly inside it. *)
+    let target = q *. float_of_int h.count in
+    let n = Array.length h.upper_bounds in
+    let rec find i cum =
+      let cum' = cum + h.bucket_counts.(i) in
+      if float_of_int cum' >= target || i = n - 1 then (i, cum) else find (i + 1) cum'
+    in
+    let i, before = find 0 0 in
+    let lower = if i = 0 then 0. else h.upper_bounds.(i - 1) in
+    if not (Float.is_finite h.upper_bounds.(i)) then lower
+    else if h.bucket_counts.(i) = 0 then lower
+    else
+      lower
+      +. (h.upper_bounds.(i) -. lower)
+         *. ((target -. float_of_int before) /. float_of_int h.bucket_counts.(i))
+  end
+
 let reset t =
   Hashtbl.iter
     (fun _ -> function

@@ -87,6 +87,16 @@ type snapshot = {
 
 val snapshot : t -> snapshot
 
+val quantile : histogram_snapshot -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([q] in [\[0, 1\]]) from
+    the bucket counts by linear interpolation inside the containing
+    bucket (the Prometheus [histogram_quantile] estimator).  [0.] for an
+    empty histogram; the lower edge of the overflow bucket when the
+    quantile falls beyond the last finite bound.  The serving loop's
+    latency summaries ([server.latency_seconds]) read p50/p99 through
+    this.
+    @raise Invalid_argument when [q] is outside [\[0, 1\]]. *)
+
 val reset : t -> unit
 (** Zero every series (instruments stay registered). *)
 

@@ -17,7 +17,10 @@
       nullability);
     - [LNT0xx] — lint findings (cartesian products, uncoalesced GMDJs,
       dead columns, non-neighboring correlation);
-    - [TRF0xx] — translation failures surfaced as diagnostics. *)
+    - [TRF0xx] — translation failures surfaced as diagnostics;
+    - [ADM0xx] — serving-layer admission control (plan over the memory
+      budget, queue-cap shed, submit after shutdown); see
+      [Subql_server.Admission]. *)
 
 type severity = Error | Warning | Info
 

@@ -1,0 +1,49 @@
+open Subql_relational
+
+type policy = { mem_budget_rows : float; queue_cap : int }
+
+let unlimited = { mem_budget_rows = infinity; queue_cap = 4096 }
+
+type rejection = { diag : Diag.t; retry_after : float option }
+
+let code_over_budget = "ADM001"
+
+let code_queue_full = "ADM002"
+
+let code_shutdown = "ADM003"
+
+let check_budget policy ~stats ~config ~label plan =
+  let height = Subql.Cost.memory_height stats ~config plan in
+  if height <= policy.mem_budget_rows then Ok height
+  else
+    Error
+      {
+        diag =
+          Diag.makef ~subject:label Diag.Error ~code:code_over_budget
+            "plan's predicted peak of %.0f materialized rows exceeds the %.0f-row \
+             memory budget; not executed"
+            height policy.mem_budget_rows;
+        (* The budget is a property of the plan, not of the moment:
+           retrying the same query can only fail again. *)
+        retry_after = None;
+      }
+
+let check_queue policy ~depth ~retry_after ~label =
+  if depth < policy.queue_cap then Ok ()
+  else
+    Error
+      {
+        diag =
+          Diag.makef ~subject:label Diag.Error ~code:code_queue_full
+            "request queue is at its cap of %d; shed — retry in %.3fs"
+            policy.queue_cap retry_after;
+        retry_after = Some retry_after;
+      }
+
+let shutdown_rejection ~label =
+  {
+    diag =
+      Diag.error ~subject:label ~code:code_shutdown
+        "server is shut down; no further submissions";
+    retry_after = None;
+  }

@@ -1,0 +1,34 @@
+(* Seeded arrival generation over the zoo templates: Poisson open-loop
+   traces and per-client closed-loop template streams, with a skew knob
+   concentrating draws on the shareable same-detail population. *)
+
+type arrival = { at : float; template : string }
+
+let all_templates = lazy (Array.of_list (List.map fst Zoo.queries))
+
+let shareable_templates = lazy (Array.of_list Zoo.same_detail_templates)
+
+let draw_template ~skew rng =
+  if skew < 0. || skew > 1. then invalid_arg "Traffic.draw_template: skew must be in [0, 1]";
+  if Rng.bernoulli rng skew then Rng.choose rng (Lazy.force shareable_templates)
+  else Rng.choose rng (Lazy.force all_templates)
+
+let open_loop ?(seed = 1L) ~rate ~count ~skew () =
+  if rate <= 0. then invalid_arg "Traffic.open_loop: rate must be positive";
+  if count < 0 then invalid_arg "Traffic.open_loop: count must be non-negative";
+  let rng = Rng.create ~seed in
+  let now = ref 0. in
+  List.init count (fun _ ->
+      (* Exponential gap with mean 1/rate; 1 - u keeps the log argument
+         in (0, 1] since Rng.float is in [0, 1). *)
+      let gap = -.log (1. -. Rng.float rng) /. rate in
+      now := !now +. gap;
+      { at = !now; template = draw_template ~skew rng })
+
+let closed_loop ?(seed = 1L) ~clients ~per_client ~skew () =
+  if clients <= 0 then invalid_arg "Traffic.closed_loop: clients must be positive";
+  if per_client < 0 then invalid_arg "Traffic.closed_loop: per_client must be non-negative";
+  let root = Rng.create ~seed in
+  List.init clients (fun _ ->
+      let rng = Rng.split root in
+      List.init per_client (fun _ -> draw_template ~skew rng))

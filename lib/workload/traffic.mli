@@ -1,0 +1,48 @@
+(** Deterministic traffic generation over the query zoo.
+
+    The serving loop ({!Subql_server}) only pays off when queries arrive
+    {e concurrently}: cross-query GMDJ sharing needs same-detail
+    templates inside one admitted batch, and the result cache needs
+    repeats.  This module produces those streams reproducibly — every
+    trace is a pure function of its seed ({!Rng}), so a latency
+    measurement can be replayed exactly.
+
+    Two driving disciplines:
+
+    - {b open loop} ({!open_loop}): arrivals are a Poisson process at a
+      fixed rate, independent of the server — the classical
+      load-vs-latency experiment.  Arrival times are virtual seconds
+      from 0; the driver ({!Subql_server.Driver.replay}) interprets
+      them.
+    - {b closed loop} ({!closed_loop}): a fixed population of clients,
+      each submitting its next query only after the previous one
+      completes (plus think time) — throughput emerges from the
+      server's speed instead of being imposed.
+
+    The [skew] knob clusters draws onto the same-detail template
+    population ({!Zoo.same_detail_templates}): at [skew = 1.] every
+    query is shareable/cacheable, at [skew = 0.] templates are uniform
+    over the whole zoo. *)
+
+type arrival = {
+  at : float;  (** virtual arrival time, seconds from trace start *)
+  template : string;  (** a {!Zoo} template name *)
+}
+
+val draw_template : skew:float -> Rng.t -> string
+(** One template draw: with probability [skew] uniform over
+    {!Zoo.same_detail_templates}, otherwise uniform over the whole zoo.
+    @raise Invalid_argument when [skew] is outside [\[0, 1\]]. *)
+
+val open_loop : ?seed:int64 -> rate:float -> count:int -> skew:float -> unit -> arrival list
+(** [count] Poisson arrivals at [rate] per second: inter-arrival gaps
+    are exponential with mean [1/rate].  Sorted by arrival time.
+    @raise Invalid_argument when [rate <= 0.] or [count < 0]. *)
+
+val closed_loop :
+  ?seed:int64 -> clients:int -> per_client:int -> skew:float -> unit -> string list list
+(** One template sequence per client ([clients] lists of [per_client]
+    names); the driver owns all timing.  Client streams are derived
+    from split generators, so adding a client never perturbs the
+    others' sequences.
+    @raise Invalid_argument when [clients <= 0] or [per_client < 0]. *)

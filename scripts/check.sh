@@ -136,4 +136,75 @@ print("BENCH_exec.json: verified, peak %d rows (2x detail: %d), page reads %d ch
 PY
 
 echo
+echo "== bench smoke test: serve target gates serving-layer regressions =="
+# The serve benchmark self-verifies (warm server answers == solo
+# evaluation, steady-state detail scans per query < 1); on top of that,
+# gate against the committed baseline: >10% worse on steady-state p99
+# (plus 5ms absolute slack for wall-clock jitter in the measured
+# evaluation times) or on steady-state detail scans per query fails.
+dune exec bench/main.exe -- serve > /dev/null
+python3 - <<'PY'
+import json, sys
+with open("BENCH_serve.json") as f:
+    fresh = json.load(f)
+with open("bench/BENCH_serve.baseline.json") as f:
+    base = json.load(f)
+if fresh["verified"] is not True:
+    sys.exit("FAIL: BENCH_serve.json reports verified != true")
+if fresh["steady_scans_per_query_max"] >= 1.0:
+    sys.exit("FAIL: steady-state detail scans per query >= 1 "
+             f"({fresh['steady_scans_per_query_max']:.3f})")
+base_rates = {r["rate"]: r for r in base["rates"]}
+for r in fresh["rates"]:
+    b = base_rates.get(r["rate"])
+    if b is None:
+        continue
+    fs, bs = r["steady"], b["steady"]
+    if fs["scans_per_query"] > bs["scans_per_query"] + 0.05:
+        sys.exit(f"FAIL: steady scans/query regressed at rate {r['rate']:.0f}: "
+                 f"{bs['scans_per_query']:.3f} -> {fs['scans_per_query']:.3f}")
+    limit = bs["p99_ms"] * 1.1 + 5.0
+    if fs["p99_ms"] > limit:
+        sys.exit(f"FAIL: steady p99 regressed >10% at rate {r['rate']:.0f}: "
+                 f"{bs['p99_ms']:.1f}ms -> {fs['p99_ms']:.1f}ms (limit {limit:.1f}ms)")
+print("BENCH_serve.json: verified, steady scans/query %.3f, steady p99 %s"
+      % (fresh["steady_scans_per_query_max"],
+         ", ".join("%.1fms@%.0f/s" % (r["steady"]["p99_ms"], r["rate"])
+                   for r in fresh["rates"])))
+PY
+
+echo
+echo "== CLI smoke test: serve batches piped statements through one scan =="
+serve_sql=$(mktemp /tmp/check_serve_XXXXXX.sql)
+cat > "$serve_sql" <<'SQL'
+SELECT u.UserName FROM User u
+WHERE EXISTS (SELECT * FROM Flow f WHERE f.SourceIP = u.IPAddress);
+SELECT u.UserName FROM User u
+WHERE NOT EXISTS (SELECT * FROM Flow f WHERE f.SourceIP = u.IPAddress
+                  AND f.NumBytes > u.Quota);
+SELECT u.UserName FROM User u
+WHERE EXISTS (SELECT * FROM Flow f WHERE f.SourceIP = u.IPAddress)
+SQL
+sout=$(dune exec bin/olap_cli.exe -- serve --batch-window 0.05 < "$serve_sql")
+rm -f "$serve_sql"
+echo "$sout"
+echo "$sout" | grep -q "batch of 3: 1 detail scans (naive 3)" || {
+  echo "FAIL: expected serve to share 3 piped queries into 1 detail scan" >&2
+  exit 1
+}
+echo "$sout" | grep -q "served 3 queries in 1 batches" || {
+  echo "FAIL: expected the serve summary to report 3 queries in 1 batch" >&2
+  exit 1
+}
+
+echo
+echo "== CLI smoke test: drive replays deterministic traffic =="
+dout=$(dune exec bin/olap_cli.exe -- drive --queries 60 --rate 400 --outer 24 --inner 1000)
+echo "$dout"
+echo "$dout" | grep -q "latency p50" || {
+  echo "FAIL: expected a latency summary line from drive" >&2
+  exit 1
+}
+
+echo
 echo "check.sh: OK"
