@@ -1,6 +1,6 @@
 (* Benchmark driver.
 
-   Usage: main.exe [fig2|fig3|fig4|fig5|fig5-noindex|ablation|micro|obs|mqo|exec|serve|all]
+   Usage: main.exe [fig2|fig3|fig4|fig5|fig5-noindex|ablation|micro|obs|mqo|exec|serve|ingest|all]
                    [--full] [--budget F] [--seed N]
 
    Without --full the table sizes are one tenth of the paper's (the
@@ -91,6 +91,7 @@ let () =
     | "mqo" -> Mqo_bench.run options
     | "exec" -> Exec_bench.run options
     | "serve" -> Serve_bench.run options
+    | "ingest" -> Ingest_bench.run options
     | other ->
       Format.eprintf "unknown target %s@." other;
       exit 2

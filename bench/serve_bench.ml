@@ -89,7 +89,7 @@ let run (options : Figures.options) =
     (* The warm server must still answer correctly: every template the
        trace used is checked against independent solo evaluation. *)
     let templates =
-      List.sort_uniq String.compare (List.map (fun e -> e.Driver.label) evs)
+      List.sort_uniq String.compare (List.map (fun (e : Driver.event) -> e.Driver.label) evs)
     in
     let ok =
       List.for_all

@@ -495,7 +495,15 @@ let print_server_summary registry =
   if c "server.queries_served" > 0 then
     Format.printf "latency p50 %.1fms, p99 %.1fms@."
       (1000. *. latency_quantile registry 0.5)
-      (1000. *. latency_quantile registry 0.99)
+      (1000. *. latency_quantile registry 0.99);
+  if c "ingest.batches" > 0 then
+    Format.printf
+      "ingested %d rows in %d batches; cache repaired %d, invalidated %d \
+       (maintain: %d delta, %d recompute, %d restamp)@."
+      (c "ingest.rows_appended") (c "ingest.batches") (c "mqo.cache.repaired")
+      (c "mqo.cache.invalidated")
+      (c "ingest.maintain.delta") (c "ingest.maintain.recompute")
+      (c "ingest.maintain.restamp")
 
 let serve_cmd =
   let run data workload flows users scale seed window bmax mem_budget qcap min_cost
@@ -618,8 +626,24 @@ let drive_cmd =
     Arg.(value & opt float 0.005 & info [ "think" ] ~docv:"SECONDS"
            ~doc:"Per-client think time between queries (closed loop).")
   in
+  let ingest_rate_arg =
+    Arg.(value & opt float 0. & info [ "ingest-rate" ] ~docv:"BATCHES/S"
+           ~doc:"Interleave append batches to the detail table I at $(docv) per \
+                 virtual second (open loop only); 0 disables ingest.")
+  in
+  let ingest_batch_arg =
+    Arg.(value & opt int 200 & info [ "ingest-batch" ] ~docv:"ROWS"
+           ~doc:"Rows per interleaved append batch.")
+  in
+  let staleness_arg =
+    Arg.(value & opt string "on-write" & info [ "staleness" ]
+           ~docv:"on-write|on-read|recompute"
+           ~doc:"When cached results are brought back to the current epoch: \
+                 synchronously on every append, lazily before the next query \
+                 batch, or never (stale entries drop and queries recompute).")
+  in
   let run outer inner seed window bmax mem_budget qcap min_cost metrics rate queries
-      skew mode clients think =
+      skew mode clients think ingest_rate ingest_batch staleness =
     let catalog = Subql_workload.Zoo.catalog ~outer ~inner () in
     let config = server_config window bmax mem_budget qcap in
     let cache = Subql_mqo.Result_cache.create ~min_cost () in
@@ -627,6 +651,68 @@ let drive_cmd =
     let tseed = Int64.of_int seed in
     let summary =
       match mode with
+      | "open" when ingest_rate > 0. ->
+        let policy =
+          match Subql_ingest.Ingest.policy_of_string staleness with
+          | Some p -> p
+          | None ->
+            failwith
+              (Printf.sprintf "unknown staleness %S (use on-write, on-read or recompute)"
+                 staleness)
+        in
+        let ing = Subql_ingest.Ingest.create ~policy ~catalog ~cache () in
+        List.iter
+          (fun t ->
+            ignore (Subql_ingest.Ingest.register_query ing (Subql_workload.Zoo.find_query t)))
+          Subql_workload.Zoo.same_detail_templates;
+        (match policy with
+        | Subql_ingest.Ingest.Maintain_on_read ->
+          Server.set_before_batch server
+            (Some (fun ~now -> Subql_ingest.Ingest.before_batch ing ~now))
+        | _ -> ());
+        let arrivals =
+          Subql_workload.Traffic.open_loop ~seed:tseed ~rate ~count:queries ~skew ()
+        in
+        let batch_no = ref 0 in
+        let events =
+          Subql_workload.Traffic.with_ingest ~rows:ingest_batch
+            ~every:(1. /. ingest_rate) arrivals
+          |> List.map (function
+               | Subql_workload.Traffic.Query a ->
+                 Driver.Query
+                   {
+                     Driver.at = a.Subql_workload.Traffic.at;
+                     label = a.Subql_workload.Traffic.template;
+                     query =
+                       Subql_workload.Zoo.find_query a.Subql_workload.Traffic.template;
+                   }
+               | Subql_workload.Traffic.Append ia ->
+                 Driver.Ingest
+                   {
+                     Driver.at = ia.Subql_workload.Traffic.at;
+                     label = "append";
+                     apply =
+                       (fun () ->
+                         incr batch_no;
+                         let rows =
+                           Subql_workload.Zoo.detail_rows
+                             ~seed:(Int64.of_int ((seed * 1_000) + !batch_no))
+                             ia.Subql_workload.Traffic.rows
+                         in
+                         ignore (Subql_ingest.Ingest.append ing ~table:"I" rows);
+                         Array.length rows);
+                   })
+        in
+        Format.printf
+          "drive: open loop, %d queries at %.0f q/s + ingest %.1f batches/s x %d rows \
+           (staleness %s, skew %.2f, seed %d)@."
+          queries rate ingest_rate ingest_batch
+          (Subql_ingest.Ingest.policy_name policy)
+          skew seed;
+        let ms = Driver.replay_mixed server events in
+        Format.printf "ingest: %d batches, %d rows, %.3fs measured apply+maintain@."
+          ms.Driver.ingest_batches ms.Driver.ingest_rows ms.Driver.ingest_seconds;
+        ms.Driver.queries
       | "open" ->
         let events =
           Subql_workload.Traffic.open_loop ~seed:tseed ~rate ~count:queries ~skew ()
@@ -678,24 +764,126 @@ let drive_cmd =
       summary.Driver.cache_hits
       (summary.Driver.cache_hits + summary.Driver.cache_misses)
       summary.Driver.max_queue_depth;
+    print_server_summary Subql_obs.Metrics.default;
     if metrics then
       Format.printf "@.== metrics ==@.%s"
         (Subql_obs.Metrics.render Subql_obs.Metrics.default)
   in
   Cmd.v
     (Cmd.info "drive"
-       ~doc:"Generate a deterministic traffic trace over the query zoo and replay \
-             it against the serving loop, printing the latency summary")
+       ~doc:"Generate a deterministic traffic trace over the query zoo — optionally \
+             interleaved with ingest batches — and replay it against the serving \
+             loop, printing the latency summary")
     Term.(
       const run $ outer_arg $ inner_arg $ seed_arg $ batch_window_arg $ batch_max_arg
       $ mem_budget_arg $ queue_cap_arg $ serve_min_cost_arg $ serve_metrics_arg
-      $ rate_arg $ queries_arg $ skew_arg $ mode_arg $ clients_arg $ think_arg)
+      $ rate_arg $ queries_arg $ skew_arg $ mode_arg $ clients_arg $ think_arg
+      $ ingest_rate_arg $ ingest_batch_arg $ staleness_arg)
+
+let ingest_cmd =
+  let batches_arg =
+    Arg.(value & opt int 8 & info [ "batches" ] ~doc:"Append batches to apply.")
+  in
+  let batch_rows_arg =
+    Arg.(value & opt int 500 & info [ "batch-rows" ] ~doc:"Rows per append batch.")
+  in
+  let staleness_arg =
+    Arg.(value & opt string "on-write" & info [ "staleness" ]
+           ~docv:"on-write|on-read|recompute"
+           ~doc:"Maintenance policy for cached results across appends.")
+  in
+  let run data workload flows users scale seed batches batch_rows staleness min_cost
+      metrics =
+    let catalog = resolve_catalog data workload flows users scale seed in
+    let policy =
+      match Subql_ingest.Ingest.policy_of_string staleness with
+      | Some p -> p
+      | None ->
+        failwith
+          (Printf.sprintf "unknown staleness %S (use on-write, on-read or recompute)"
+             staleness)
+    in
+    let cache = Subql_mqo.Result_cache.create ~min_cost () in
+    let ing = Subql_ingest.Ingest.create ~policy ~catalog ~cache () in
+    (* A canonical netflow subquery whose detail side is the appended
+       table: users with at least one dumped flow from their address. *)
+    let sql =
+      "SELECT * FROM User u WHERE EXISTS (SELECT * FROM Flow f WHERE f.SourceIP = \
+       u.IPAddress)"
+    in
+    let stmt = parse_sql sql in
+    let entry = Subql_mqo.Batch.prepare stmt.Subql_sql.Parser.query in
+    ignore (Subql_ingest.Ingest.register_query ing stmt.Subql_sql.Parser.query);
+    Format.printf "ingest demo: %s@.query: %s@."
+      (Subql_ingest.Ingest.policy_name policy)
+      sql;
+    let ask tag =
+      let rep = Subql_mqo.Batch.run_prepared ~cache catalog [ entry ] in
+      let rows =
+        match rep.Subql_mqo.Batch.results with
+        | [ (_, r) ] -> Relation.cardinality r
+        | _ -> 0
+      in
+      Format.printf "  %s: %d rows (%s)@." tag rows
+        (if rep.Subql_mqo.Batch.cache_hits > 0 then "cache hit" else "evaluated")
+    in
+    ask "warm";
+    let nf =
+      {
+        Subql_workload.Netflow.default_config with
+        n_flows = flows;
+        n_users = users;
+        seed = Int64.of_int seed;
+      }
+    in
+    let print_report (r : Subql_ingest.Maintenance.report) =
+      Format.printf
+        "  maintain: %d delta (%d rows folded, %d scan rows avoided), %d recompute, \
+         %d restamp@."
+        r.Subql_ingest.Maintenance.delta_maintained r.Subql_ingest.Maintenance.delta_rows
+        r.Subql_ingest.Maintenance.avoided_rows r.Subql_ingest.Maintenance.recomputed
+        r.Subql_ingest.Maintenance.restamped
+    in
+    for b = 1 to batches do
+      let rows =
+        Subql_workload.Netflow.flow_rows ~seed:(Int64.of_int ((seed * 1_000) + b)) nf
+          batch_rows
+      in
+      Format.printf "batch %d: +%d Flow rows@." b (Array.length rows);
+      (match Subql_ingest.Ingest.append ing ~table:"Flow" rows with
+      | Some r -> print_report r
+      | None -> Format.printf "  maintenance deferred (%s)@." staleness);
+      (match policy with
+      | Subql_ingest.Ingest.Maintain_on_read -> (
+        match Subql_ingest.Ingest.sync ing with Some r -> print_report r | None -> ())
+      | _ -> ());
+      ask "query"
+    done;
+    let c name = Subql_obs.Metrics.counter_value_by_name Subql_obs.Metrics.default name in
+    Format.printf
+      "ingested %d rows in %d batches; cache repaired %d, invalidated %d@."
+      (c "ingest.rows_appended") (c "ingest.batches") (c "mqo.cache.repaired")
+      (c "mqo.cache.invalidated");
+    if metrics then
+      Format.printf "@.== metrics ==@.%s"
+        (Subql_obs.Metrics.render Subql_obs.Metrics.default);
+    Subql_ingest.Ingest.close ing
+  in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:"Append batches to the Flow table and watch cached subquery results \
+             being maintained incrementally (delta vs recompute vs restamp) under \
+             the chosen staleness policy")
+    Term.(
+      const run $ data_arg $ workload_arg $ flows_arg $ users_arg $ scale_arg $ seed_arg
+      $ batches_arg $ batch_rows_arg $ staleness_arg $ serve_min_cost_arg
+      $ serve_metrics_arg)
 
 let bench_note_cmd =
   let run () =
     print_endline "The figure-reproduction harness lives in a separate executable:";
     print_endline
-      "  dune exec bench/main.exe -- [fig2|fig3|fig4|fig5|fig5-noindex|ablation|micro|obs|mqo|exec|serve|all] [--full]"
+      "  dune exec bench/main.exe -- [fig2|fig3|fig4|fig5|fig5-noindex|ablation|micro|obs|mqo|exec|serve|ingest|all] [--full]"
   in
   Cmd.v (Cmd.info "bench" ~doc:"Where to find the benchmark harness") Term.(const run $ const ())
 
@@ -711,6 +899,7 @@ let () =
             batch_cmd;
             serve_cmd;
             drive_cmd;
+            ingest_cmd;
             explain_cmd;
             analyze_cmd;
             bench_note_cmd;

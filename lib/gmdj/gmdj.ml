@@ -764,6 +764,28 @@ module Maintain = struct
     accumulate_range ~plans:t.plans ~accs:t.accs ~base_rows:t.base_rows ~detail_rows
       ~stats:t.m_stats 0 (Array.length detail_rows)
 
+  let check_chunk_delta t chunk =
+    if not (Schema.equal_names (Chunk.schema chunk) t.detail_schema) then
+      invalid_arg "Gmdj.Maintain: delta schema does not match the detail schema"
+
+  let insert_chunk t chunk =
+    check_chunk_delta t chunk;
+    incr generation_counter;
+    let lo = Chunk.offset chunk in
+    accumulate_range ~plans:t.plans ~accs:t.accs ~base_rows:t.base_rows
+      ~detail_rows:(Chunk.buffer chunk) ~stats:t.m_stats lo (lo + Chunk.length chunk)
+
+  let insert_source t source =
+    let rows = ref 0 in
+    Chunk.Source.iter
+      (fun chunk ->
+        rows := !rows + Chunk.length chunk;
+        insert_chunk t chunk)
+      source;
+    !rows
+
+  let stats t = t.m_stats
+
   let delete_detail t delta =
     check_delta t delta;
     if t.has_minmax then

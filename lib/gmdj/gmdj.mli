@@ -234,6 +234,23 @@ module Maintain : sig
   (** Retract a batch of detail rows.
       @raise Invalid_argument for views with MIN/MAX aggregates. *)
 
+  val insert_chunk : t -> Chunk.t -> unit
+  (** {!insert_detail} for one chunk of detail rows — the streaming
+      insertion primitive: only the chunk's window of its backing buffer
+      is folded, nothing is copied.
+      @raise Invalid_argument if the chunk schema differs. *)
+
+  val insert_source : t -> Chunk.Source.t -> int
+  (** Drain a chunk stream into the view, one {!insert_chunk} per chunk;
+      returns the number of rows folded.  With a paged delta source
+      (e.g. [Heap_file.source_range]) an appended batch is maintained
+      without ever materializing it. *)
+
+  val stats : t -> stats
+  (** Lifetime accumulation counts for this view: the initial
+      materialization plus every delta folded since.  [detail_scanned]
+      deltas between two reads price a maintenance step in rows. *)
+
   val result : t -> Relation.t
   (** The current view contents, in base order — always equal to
       re-evaluating the GMDJ over the maintained detail state. *)

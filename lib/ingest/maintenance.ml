@@ -1,0 +1,317 @@
+open Subql_relational
+open Subql_gmdj
+open Subql_mqo
+
+(* A registered plan whose single GMDJ can be maintained incrementally:
+   the detail side is a plain base-table scan (possibly aliased) and the
+   base side does not read that table, so appending to the detail table
+   changes exactly the rows the accumulators must fold. *)
+type maintainable = {
+  md_node : Subql.Algebra.t;  (* the [Md] node, physically a subterm of the plan *)
+  base_plan : Subql.Algebra.t;
+  detail_table : string;
+  detail_alias : string option;
+  blocks : Gmdj.block list;
+}
+
+type view = {
+  fingerprint : string;
+  plan : Subql.Algebra.t;
+  deps : string list;  (* base tables the plan reads, sorted *)
+  maintainable : maintainable option;
+  mutable state : Gmdj.Maintain.t option;
+  mutable maintained_rows : int;  (* detail rows folded into [state] *)
+  mutable synced : (string * int) list;  (* table -> epoch at last sync *)
+}
+
+type t = {
+  catalog : Catalog.t;
+  cache : Result_cache.t;
+  config : Subql.Eval.config;
+  delta_row_cost : float;
+  views : (string, view) Hashtbl.t;
+  mutable stats_cache : (Subql.Cost.Stats.t * float) option;
+      (* stats + total catalog rows at snapshot time *)
+  m_delta : Subql_obs.Metrics.counter;
+  m_recompute : Subql_obs.Metrics.counter;
+  m_restamp : Subql_obs.Metrics.counter;
+}
+
+type report = {
+  views : int;
+  restamped : int;
+  delta_maintained : int;
+  recomputed : int;
+  delta_rows : int;
+  recompute_rows : int;
+  avoided_rows : int;
+}
+
+let create ?(config = Subql.Eval.default_config) ?(delta_row_cost = 4.)
+    ?(registry = Subql_obs.Metrics.default) ~catalog ~cache () =
+  {
+    catalog;
+    cache;
+    config;
+    delta_row_cost;
+    views = Hashtbl.create 16;
+    stats_cache = None;
+    m_delta = Subql_obs.Metrics.counter registry "ingest.maintain.delta";
+    m_recompute = Subql_obs.Metrics.counter registry "ingest.maintain.recompute";
+    m_restamp = Subql_obs.Metrics.counter registry "ingest.maintain.restamp";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Plan analysis                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let plan_tables plan =
+  let tbls = ref [] in
+  let rec walk p =
+    (match p with
+    | Subql.Algebra.Table name -> if not (List.mem name !tbls) then tbls := name :: !tbls
+    | _ -> ());
+    ignore
+      (Subql.Optimize.map_children
+         (fun c ->
+           walk c;
+           c)
+         p)
+  in
+  walk plan;
+  List.sort String.compare !tbls
+
+let md_nodes plan =
+  let nodes = ref [] in
+  let rec walk p =
+    (match p with
+    | Subql.Algebra.Md _ | Subql.Algebra.Md_completed _ -> nodes := p :: !nodes
+    | _ -> ());
+    ignore
+      (Subql.Optimize.map_children
+         (fun c ->
+           walk c;
+           c)
+         p)
+  in
+  walk plan;
+  !nodes
+
+(* Maintainable iff the plan holds exactly one MD-family node, it is a
+   plain [Md] (completion prunes rows, which retractions cannot restore),
+   its detail is a base-table scan, and the base side is independent of
+   that table. *)
+let analyze plan =
+  match md_nodes plan with
+  | [ (Subql.Algebra.Md { base; detail; blocks } as md_node) ] -> (
+    let detail_of = function
+      | Subql.Algebra.Table d -> Some (d, None)
+      | Subql.Algebra.Rename (a, Subql.Algebra.Table d) -> Some (d, Some a)
+      | _ -> None
+    in
+    match detail_of detail with
+    | Some (detail_table, detail_alias)
+      when not (List.mem detail_table (plan_tables base)) ->
+      Some { md_node; base_plan = base; detail_table; detail_alias; blocks }
+    | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Registration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_epochs (t : t) deps = List.map (fun d -> (d, Catalog.epoch t.catalog d)) deps
+
+let register (t : t) ~fingerprint plan =
+  if Hashtbl.mem t.views fingerprint then false
+  else begin
+    let deps = plan_tables plan in
+    Hashtbl.replace t.views fingerprint
+      {
+        fingerprint;
+        plan;
+        deps;
+        maintainable = analyze plan;
+        state = None;
+        maintained_rows = 0;
+        synced = snapshot_epochs t deps;
+      };
+    true
+  end
+
+let register_query t q =
+  let e = Batch.prepare q in
+  (* Register the completion-free optimized plan: completion fuses the
+     enclosing selection into the MD node ([Md_completed]), which prunes
+     base rows during the scan — pruned accumulators cannot absorb later
+     deltas.  Without the completion rewrite the plan keeps a plain [Md]
+     under the selection: same answer, delta-maintainable.  The
+     fingerprint is still the batch layer's, so repairs land on the
+     entry the cache serves. *)
+  let plan =
+    Subql.Optimize.optimize
+      ~flags:(Subql.Optimize.only ~coalesce:true ~pushdown:true ~completion:false ())
+      (Subql.Transform.to_algebra q)
+  in
+  register t ~fingerprint:(Batch.fingerprint e) plan
+
+let registered (t : t) = Hashtbl.length t.views
+
+let is_maintainable (t : t) ~fingerprint =
+  match Hashtbl.find_opt t.views fingerprint with
+  | Some v -> Option.is_some v.maintainable
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Synchronisation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let eval_via_state (t : t) v m state =
+  (* Splice the maintained accumulators into the registered plan: the
+     override answers the [Md] subterm, the surrounding operators run
+     normally over its (small) output. *)
+  Subql.Eval.eval_with_overrides ~config:t.config
+    ~override:(fun node -> if node == m.md_node then Some (Gmdj.Maintain.result state) else None)
+    t.catalog v.plan
+
+let detail_relation (t : t) m =
+  let rel = Catalog.find t.catalog m.detail_table in
+  match m.detail_alias with None -> rel | Some a -> Relation.rename a rel
+
+(* Rebuild the maintained accumulators from scratch — one full detail
+   scan — and answer the plan through them, so the scan also serves the
+   recomputation. *)
+let rebuild (t : t) v m =
+  let base = Subql.Eval.eval ~config:t.config t.catalog m.base_plan in
+  let detail = detail_relation t m in
+  let state =
+    Gmdj.Maintain.create ~strategy:t.config.Subql.Eval.gmdj_strategy ~base ~detail m.blocks
+  in
+  v.state <- Some state;
+  v.maintained_rows <- Relation.cardinality detail;
+  eval_via_state t v m state
+
+(* Cost stats are only consulted to price delta folds against full MD
+   recomputes, a decision with order-of-magnitude margins — so the
+   distinct-count scan behind [Stats.of_catalog] (every column of every
+   table) is cached and refreshed only once the catalog has grown 25%
+   past the snapshot.  Recomputing it per append would cost more than
+   the folds it prices. *)
+let catalog_rows (t : t) =
+  List.fold_left
+    (fun acc name ->
+      acc +. float_of_int (Relation.cardinality (Catalog.find t.catalog name)))
+    0. (Catalog.tables t.catalog)
+
+let stats (t : t) =
+  let total = catalog_rows t in
+  match t.stats_cache with
+  | Some (s, at) when total <= at *. 1.25 -> s
+  | _ ->
+    let s = Subql.Cost.Stats.of_catalog t.catalog in
+    t.stats_cache <- Some (s, total);
+    s
+
+let decide_delta (t : t) ~stats v m ~delta_n =
+  (* Price the delta fold against recomputing just the MD node; the
+     operators around it run in either path. *)
+  let n_blocks = float_of_int (List.length m.blocks) in
+  let cost_delta = t.delta_row_cost *. float_of_int delta_n *. n_blocks in
+  let cost_full = (Subql.Cost.estimate stats ~config:t.config m.md_node).Subql.Cost.cost in
+  ignore v;
+  cost_delta < cost_full
+
+let sync (t : t) ~rows ~delta =
+  let stats = lazy (stats t) in
+  let restamped = ref 0
+  and delta_maintained = ref 0
+  and recomputed = ref 0
+  and delta_rows = ref 0
+  and recompute_rows = ref 0
+  and avoided_rows = ref 0 in
+  (* Deterministic view order, so costs and metrics are reproducible. *)
+  let views =
+    Hashtbl.fold (fun _ v acc -> v :: acc) t.views []
+    |> List.sort (fun a b -> String.compare a.fingerprint b.fingerprint)
+  in
+  (* Phase 1: bring every view's relation up to date.  Folding a delta
+     bumps the maintenance generation (and with it the global epoch), so
+     no entry may be restamped until all folds are done. *)
+  let repairs =
+    List.filter_map
+      (fun v ->
+        let changed =
+          List.filter (fun (d, e) -> Catalog.epoch t.catalog d <> e) v.synced
+          |> List.map fst
+        in
+        v.synced <- snapshot_epochs t v.deps;
+        if changed = [] then begin
+          (* Dependencies untouched: the cached relation is still the
+             answer; only its epoch stamp is stale. *)
+          incr restamped;
+          Subql_obs.Metrics.incr t.m_restamp;
+          Option.map (fun rel -> (v, rel)) (Result_cache.peek t.cache v.fingerprint)
+        end
+        else begin
+          let via_delta =
+            match (v.maintainable, v.state) with
+            | Some m, Some state when changed = [ m.detail_table ] -> (
+              match rows m.detail_table with
+              | Some total when total >= v.maintained_rows ->
+                let delta_n = total - v.maintained_rows in
+                if not (decide_delta t ~stats:(Lazy.force stats) v m ~delta_n) then None
+                else
+                  Option.map
+                    (fun src ->
+                      let folded = Gmdj.Maintain.insert_source state src in
+                      v.maintained_rows <- v.maintained_rows + folded;
+                      delta_rows := !delta_rows + folded;
+                      avoided_rows := !avoided_rows + (total - folded);
+                      eval_via_state t v m state)
+                    (delta ~table:m.detail_table ~from_row:v.maintained_rows)
+              | _ -> None)
+            | _ -> None
+          in
+          let rel =
+            match via_delta with
+            | Some rel ->
+              incr delta_maintained;
+              Subql_obs.Metrics.incr t.m_delta;
+              rel
+            | None ->
+              incr recomputed;
+              Subql_obs.Metrics.incr t.m_recompute;
+              (match v.maintainable with
+              | Some m ->
+                let rel = rebuild t v m in
+                recompute_rows := !recompute_rows + v.maintained_rows;
+                rel
+              | None ->
+                let rel = Subql.Eval.eval ~config:t.config t.catalog v.plan in
+                List.iter
+                  (fun d ->
+                    match rows d with
+                    | Some n -> recompute_rows := !recompute_rows + n
+                    | None -> ())
+                  v.deps;
+                rel)
+          in
+          Some (v, rel)
+        end)
+      views
+  in
+  (* Phase 2: restamp every refreshed relation at the final epoch.  A
+     view never admitted to the cache stays out — repair is not
+     admission — so the cache's cost policy is preserved. *)
+  List.iter
+    (fun (v, rel) -> ignore (Result_cache.repair t.cache ~fingerprint:v.fingerprint rel))
+    repairs;
+  {
+    views = List.length views;
+    restamped = !restamped;
+    delta_maintained = !delta_maintained;
+    recomputed = !recomputed;
+    delta_rows = !delta_rows;
+    recompute_rows = !recompute_rows;
+    avoided_rows = !avoided_rows;
+  }

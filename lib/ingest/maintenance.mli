@@ -1,0 +1,79 @@
+(** Incremental maintenance planning for cached GMDJ results.
+
+    The planner tracks registered query plans (one per fingerprint) and,
+    when ingest bumps table epochs ({!Subql_relational.Catalog.epoch}),
+    brings each plan's cached result back to the current epoch by the
+    cheapest applicable route:
+
+    - {b restamp} — no dependency changed; the relation is still the
+      answer and only its epoch stamp is stale;
+    - {b delta maintenance} — the only changed dependency is the plan's
+      GMDJ detail table: the appended rows are streamed (never
+      materialized) through {!Subql_gmdj.Gmdj.Maintain.insert_source}
+      into live accumulators, and the plan re-answered by splicing the
+      maintained MD result in via [Eval.eval_with_overrides];
+    - {b full recompute} — everything else, with the rebuilt accumulator
+      state serving the recomputation scan for maintainable plans.
+
+    The delta-vs-recompute choice is cost-based: the delta fold is
+    priced per row per block against {!Subql.Cost.estimate} of the MD
+    node.  Repairs go through {!Subql_mqo.Result_cache.repair}, so warm
+    entries survive appends in place instead of being dropped and
+    rebuilt on the next miss.  Decisions are counted under
+    ["ingest.maintain.delta" / "recompute" / "restamp"]. *)
+
+open Subql_relational
+open Subql_mqo
+
+type t
+
+type report = {
+  views : int;  (** registered plans considered *)
+  restamped : int;
+  delta_maintained : int;
+  recomputed : int;
+  delta_rows : int;  (** detail rows folded by delta maintenance *)
+  recompute_rows : int;  (** rows scanned by full recomputes *)
+  avoided_rows : int;  (** scan rows delta maintenance saved *)
+}
+
+val create :
+  ?config:Subql.Eval.config ->
+  ?delta_row_cost:float ->
+  ?registry:Subql_obs.Metrics.t ->
+  catalog:Catalog.t ->
+  cache:Result_cache.t ->
+  unit ->
+  t
+(** [delta_row_cost] (default [4.]) prices one delta row folded through
+    one block, in the cost model's tuple-operation units. *)
+
+val register : t -> fingerprint:string -> Subql.Algebra.t -> bool
+(** Track a plan under its fingerprint; [false] if already tracked.
+    Dependencies are snapshotted at the current epochs, so a plan
+    registered after an append is not spuriously recomputed. *)
+
+val register_query : t -> Subql_nested.Nested_ast.query -> bool
+(** {!register} via [Batch.prepare] (fingerprint + optimized solo plan). *)
+
+val registered : t -> int
+
+val is_maintainable : t -> fingerprint:string -> bool
+(** Whether the plan qualifies for delta maintenance: exactly one MD
+    node, plain [Md] (no completion), detail a base-table scan the base
+    side does not read. *)
+
+val sync :
+  t ->
+  rows:(string -> int option) ->
+  delta:(table:string -> from_row:int -> Chunk.Source.t option) ->
+  report
+(** Bring every registered plan's cached entry to the current epoch.
+    [rows table] is the table's current cardinality; [delta ~table
+    ~from_row] streams exactly the rows appended since [from_row]
+    ([None] when that suffix cannot be reproduced — forces recompute).
+    Runs in two phases: all relations are refreshed first (delta folds
+    bump the global epoch), then every refreshed entry is restamped at
+    the final epoch via {!Subql_mqo.Result_cache.repair}.  Plans absent
+    from the cache are still maintained (their accumulators advance) but
+    never admitted — repair is not admission. *)

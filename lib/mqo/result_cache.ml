@@ -16,6 +16,8 @@ type t = {
   m_hits : Subql_obs.Metrics.counter;
   m_misses : Subql_obs.Metrics.counter;
   m_evictions : Subql_obs.Metrics.counter;
+  m_repaired : Subql_obs.Metrics.counter;
+  m_invalidated : Subql_obs.Metrics.counter;
   m_bytes : Subql_obs.Metrics.gauge;
 }
 
@@ -31,6 +33,8 @@ let create ?(max_bytes = 64 * 1024 * 1024) ?(min_cost = 1000.)
     m_hits = Subql_obs.Metrics.counter registry "mqo.cache.hits";
     m_misses = Subql_obs.Metrics.counter registry "mqo.cache.misses";
     m_evictions = Subql_obs.Metrics.counter registry "mqo.cache.evictions";
+    m_repaired = Subql_obs.Metrics.counter registry "mqo.cache.repaired";
+    m_invalidated = Subql_obs.Metrics.counter registry "mqo.cache.invalidated";
     m_bytes = Subql_obs.Metrics.gauge registry "mqo.cache.bytes";
   }
 
@@ -73,6 +77,7 @@ let lookup t fp =
        computed.  Drop eagerly so the space is reusable. *)
     remove t fp;
     publish t;
+    Subql_obs.Metrics.incr t.m_invalidated;
     Subql_obs.Metrics.incr t.m_misses;
     None
   | None ->
@@ -107,6 +112,27 @@ let store t ~fingerprint ~cost relation =
     publish t;
     true
   end
+
+let peek t fp =
+  Option.map (fun e -> e.relation) (Hashtbl.find_opt t.table fp)
+
+let repair t ~fingerprint relation =
+  match Hashtbl.find_opt t.table fingerprint with
+  | None -> false
+  | Some old ->
+    let bytes = approx_bytes relation in
+    t.total_bytes <- t.total_bytes - old.bytes + bytes;
+    Hashtbl.replace t.table fingerprint
+      { relation; bytes; epoch = Epoch.current (); last_used = tick t };
+    (* The repaired entry just got the freshest tick, so LRU eviction
+       spares it; the > 1 guard keeps an over-budget repair from spinning
+       on its own entry. *)
+    while t.total_bytes > t.max_bytes && Hashtbl.length t.table > 1 do
+      evict_lru t
+    done;
+    publish t;
+    Subql_obs.Metrics.incr t.m_repaired;
+    true
 
 let entries t = Hashtbl.length t.table
 

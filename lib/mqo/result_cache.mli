@@ -14,9 +14,16 @@
       older epoch are dropped lazily on lookup, so no mutation can be
       followed by a stale hit.
 
+    Under ingest, dropping is not the only recourse: a maintenance
+    planner can {!repair} an entry in place — replace the stale relation
+    with a delta-maintained (or recomputed) one restamped at the current
+    epoch — so warm entries survive appends instead of being rebuilt
+    from scratch on the next miss.
+
     Activity is published to a metrics registry under
-    ["mqo.cache.hits"], ["mqo.cache.misses"], ["mqo.cache.evictions"]
-    and the gauge ["mqo.cache.bytes"]. *)
+    ["mqo.cache.hits"], ["mqo.cache.misses"], ["mqo.cache.evictions"],
+    ["mqo.cache.repaired"], ["mqo.cache.invalidated"] (stale entries
+    dropped on lookup) and the gauge ["mqo.cache.bytes"]. *)
 
 open Subql_relational
 
@@ -40,6 +47,19 @@ val store : t -> fingerprint:string -> cost:float -> Relation.t -> bool
     [max_bytes]; otherwise evicts LRU entries until the result fits and
     returns [true].  Re-storing an existing fingerprint replaces the
     entry. *)
+
+val peek : t -> string -> Relation.t option
+(** The entry under this fingerprint regardless of staleness — no epoch
+    check, no metrics, no LRU touch.  For maintenance planners that need
+    the stale contents as the {e input} to a repair; never serve a
+    peeked relation to a query. *)
+
+val repair : t -> fingerprint:string -> Relation.t -> bool
+(** Replace an existing entry's relation in place, restamped at the
+    current epoch with a fresh LRU tick; adjusts byte accounting and
+    evicts other entries if the repaired result no longer fits.  Returns
+    [false] (and caches nothing) when the fingerprint is absent — repair
+    never admits new entries, that is {!store}'s job. *)
 
 val approx_bytes : Relation.t -> int
 (** The size estimate used for accounting: summed cell sizes plus

@@ -1,8 +1,11 @@
-type t = (string, Relation.t) Hashtbl.t
+type t = {
+  tables : (string, Relation.t) Hashtbl.t;
+  epochs : (string, int) Hashtbl.t;
+}
 
 exception Unknown_table of string
 
-let create () = Hashtbl.create 16
+let create () = { tables = Hashtbl.create 16; epochs = Hashtbl.create 16 }
 
 (* A process-wide mutation generation.  Result caches keyed on plan
    shape (not on catalog identity) use this to invalidate conservatively:
@@ -14,18 +17,23 @@ let generation () = !generation_counter
 
 let add t name rel =
   incr generation_counter;
-  Hashtbl.replace t name (Relation.rename name rel)
+  Hashtbl.replace t.epochs name
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.epochs name));
+  Hashtbl.replace t.tables name (Relation.rename name rel)
+
+let epoch t name = Option.value ~default:0 (Hashtbl.find_opt t.epochs name)
 
 let find t name =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.tables name with
   | Some rel -> rel
   | None -> raise (Unknown_table name)
 
-let find_opt = Hashtbl.find_opt
+let find_opt t name = Hashtbl.find_opt t.tables name
 
 let of_list bindings =
   let t = create () in
   List.iter (fun (name, rel) -> add t name rel) bindings;
   t
 
-let tables t = Hashtbl.fold (fun name _ acc -> name :: acc) t [] |> List.sort String.compare
+let tables t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.tables [] |> List.sort String.compare

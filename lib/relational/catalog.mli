@@ -21,6 +21,14 @@ val of_list : (string * Relation.t) list -> t
 val tables : t -> string list
 (** Sorted table names. *)
 
+val epoch : t -> string -> int
+(** The per-table mutation epoch: [0] while [name] has never been
+    registered in this catalog, and bumped by every {!add} of [name]
+    (the initial registration included).  One ingest batch bumps the
+    epoch exactly once, so maintenance planners can tell precisely
+    {e which} tables changed between two syncs — the fine-grained
+    counterpart of {!generation}. *)
+
 val generation : unit -> int
 (** A process-wide mutation counter, bumped by every {!add} on any
     catalog.  Consumers that cache derived results (see [Subql_mqo])

@@ -148,6 +148,62 @@ let replay server events =
   List.iter (absorb acc) (Server.drain server ~now:(max !last_at acc.a_busy));
   summarize acc
 
+(* --- mixed ingest + query replay ------------------------------------- *)
+
+type ingest_event = { at : float; label : string; apply : unit -> int }
+
+type mixed_event = Query of event | Ingest of ingest_event
+
+type mixed_summary = {
+  queries : summary;
+  ingest_batches : int;
+  ingest_rows : int;
+  ingest_seconds : float;
+}
+
+let replay_mixed server events =
+  let at = function Query e -> e.at | Ingest i -> i.at in
+  let events = List.sort (fun a b -> compare (at a) (at b)) events in
+  let acc = fresh_acc () in
+  let last_at = ref 0. in
+  let batches = ref 0 and rows = ref 0 and isecs = ref 0. in
+  List.iter
+    (fun ev ->
+      run_due server acc ~horizon:(at ev);
+      last_at := max !last_at (at ev);
+      match ev with
+      | Query e -> (
+        acc.a_offered <- acc.a_offered + 1;
+        (match Server.submit server ~now:e.at ~label:e.label e.query with
+        | Ok _ -> ()
+        | Error r -> (
+          match r.Admission.retry_after with
+          | Some _ -> acc.a_shed <- acc.a_shed + 1
+          | None -> acc.a_budget <- acc.a_budget + 1));
+        note_depth server acc;
+        run_due server acc ~horizon:e.at)
+      | Ingest i -> (
+        (* The write waits for the evaluator like everything else. *)
+        let start = max i.at acc.a_busy in
+        match Server.ingest server ~now:start ~label:i.label ~apply:i.apply () with
+        | Ok r ->
+          (* The drained batches ran first, against the pre-append
+             snapshot; then the write occupied the loop. *)
+          List.iter (absorb acc) r.Server.flushed;
+          incr batches;
+          rows := !rows + r.Server.ingested_rows;
+          isecs := !isecs +. r.Server.apply_seconds;
+          acc.a_busy <- max acc.a_busy start +. r.Server.apply_seconds
+        | Error _ -> ()))
+    events;
+  List.iter (absorb acc) (Server.drain server ~now:(max !last_at acc.a_busy));
+  {
+    queries = summarize acc;
+    ingest_batches = !batches;
+    ingest_rows = !rows;
+    ingest_seconds = !isecs;
+  }
+
 (* --- closed loop ----------------------------------------------------- *)
 
 type client = {

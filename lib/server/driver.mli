@@ -44,6 +44,32 @@ val replay : Server.t -> event list -> summary
     dropped (the load is imposed, nobody waits to retry).  Ends with a
     {!Server.drain} so every admitted request completes. *)
 
+type ingest_event = {
+  at : float;  (** virtual arrival time of the append batch *)
+  label : string;
+  apply : unit -> int;  (** perform the write; returns rows appended *)
+}
+
+type mixed_event = Query of event | Ingest of ingest_event
+
+type mixed_summary = {
+  queries : summary;
+  ingest_batches : int;  (** writes applied *)
+  ingest_rows : int;
+  ingest_seconds : float;  (** measured wall-clock write+maintain time *)
+}
+
+val replay_mixed : Server.t -> mixed_event list -> mixed_summary
+(** {!replay} over an interleaved ingest + query trace (e.g.
+    {!Subql_workload.Traffic.with_ingest}).  Query events behave exactly
+    as in {!replay}; an ingest event waits for the evaluator
+    ([busy-until]), goes through {!Server.ingest} — so queries already
+    queued are answered against the pre-append snapshot first — and
+    then occupies the loop for its measured apply time, delaying
+    subsequent batches.  No query admitted after an append can be
+    answered from a pre-append cache entry: the write bumps the epoch
+    before the query's batch seals. *)
+
 val run_closed :
   Server.t ->
   clients:(string * Subql_nested.Nested_ast.query) list list ->

@@ -36,13 +36,15 @@ type instruments = {
 type t = {
   config : config;
   cat : Catalog.t;
-  stats : Subql.Cost.Stats.t;  (* computed once: the catalog is resident *)
+  mutable stats : Subql.Cost.Stats.t;
+      (* computed at creation; refreshed after ingest grows a table *)
   result_cache : Subql_mqo.Result_cache.t;
   registry : Metrics.t;
   ins : instruments;
   queue : pending Queue.t;
   mutable next_id : int;
   mutable shut_down : bool;
+  mutable before_batch : (now:float -> unit) option;
 }
 
 let create ?(config = default_config) ?cache ?(registry = Metrics.default) cat =
@@ -81,6 +83,7 @@ let create ?(config = default_config) ?cache ?(registry = Metrics.default) cat =
     queue = Queue.create ();
     next_id = 0;
     shut_down = false;
+    before_batch = None;
   }
 
 let queue_depth t = Queue.length t.queue
@@ -90,6 +93,10 @@ let is_shut_down t = t.shut_down
 let catalog t = t.cat
 
 let cache t = t.result_cache
+
+let refresh_stats t = t.stats <- Subql.Cost.Stats.of_catalog t.cat
+
+let set_before_batch t hook = t.before_batch <- hook
 
 let publish_depth t =
   Metrics.set t.ins.queue_depth (float_of_int (Queue.length t.queue))
@@ -159,6 +166,10 @@ let seal t ~now =
   let members = List.init n (fun _ -> Queue.pop t.queue) in
   publish_depth t;
   let t0 = Unix.gettimeofday () in
+  (* Lazy-maintenance hook (e.g. Subql_ingest under maintain-on-read):
+     repairs run inside the measured window, so reads pay for the
+     freshness they consume. *)
+  (match t.before_batch with Some hook -> hook ~now | None -> ());
   let report =
     Subql_mqo.Batch.run_prepared ~config:t.config.eval_config ~cache:t.result_cache
       ~registry:t.registry t.cat
@@ -201,3 +212,25 @@ let shutdown t ~now =
   let drained = drain t ~now in
   t.shut_down <- true;
   drained
+
+type ingest_result = {
+  flushed : batch_result list;
+  ingested_rows : int;
+  apply_seconds : float;
+}
+
+let ingest t ~now ?(label = "ingest") ~apply () =
+  if t.shut_down then
+    reject t t.ins.rejected_shutdown (Admission.shutdown_rejection ~label)
+  else begin
+    (* Drain-first ordering: everything already queued was submitted
+       before this batch arrived, so it is answered against the
+       pre-append snapshot — the mirror image of the no-stale-reads
+       guarantee for queries arriving after. *)
+    let flushed = drain t ~now in
+    let t0 = Unix.gettimeofday () in
+    let ingested_rows = apply () in
+    let apply_seconds = Unix.gettimeofday () -. t0 in
+    refresh_stats t;
+    Ok { flushed; ingested_rows; apply_seconds }
+  end

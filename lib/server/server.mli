@@ -100,6 +100,37 @@ val shutdown : t -> now:float -> batch_result list
 (** {!drain}, then refuse every further {!submit} with [ADM003].  The
     in-flight queries are answered before the loop exits. *)
 
+type ingest_result = {
+  flushed : batch_result list;
+      (** batches drained {e before} the write was applied *)
+  ingested_rows : int;  (** whatever [apply] returned *)
+  apply_seconds : float;  (** measured wall-clock time of [apply] *)
+}
+
+val ingest :
+  t ->
+  now:float ->
+  ?label:string ->
+  apply:(unit -> int) ->
+  unit ->
+  (ingest_result, Admission.rejection) result
+(** Run one ingest batch against the serving loop.  The queue is
+    drained {b first}: queries submitted before the batch arrived are
+    answered against the pre-append snapshot, then [apply] performs the
+    write (e.g. [Subql_ingest.Ingest.append]) and the cost statistics
+    are refreshed to the grown catalog.  Queries submitted afterwards
+    can never observe pre-append cached results — the append bumps the
+    epoch.  Rejected with [ADM003] after {!shutdown}. *)
+
+val refresh_stats : t -> unit
+(** Recompute admission-pricing statistics from the (mutated) catalog;
+    {!ingest} calls this after every applied write. *)
+
+val set_before_batch : t -> (now:float -> unit) option -> unit
+(** Install a hook that runs inside every sealed batch's measured
+    window, just before evaluation — the attachment point for lazy
+    (maintain-on-read) ingest maintenance. *)
+
 val queue_depth : t -> int
 
 val is_shut_down : t -> bool

@@ -28,14 +28,75 @@ let m_reads =
 let m_evictions =
   Subql_obs.Metrics.counter Subql_obs.Metrics.default "storage.buffer_pool.evictions"
 
+let m_invalidations =
+  Subql_obs.Metrics.counter Subql_obs.Metrics.default "storage.buffer_pool.invalidations"
+
+(* Every live pool, weakly held so registration never extends a pool's
+   lifetime.  A heap-file append must drop the stale image of the grown
+   file's last page from pools it has never seen ({!invalidate_all}) —
+   pools are created freely by evaluators and tests, and any of them may
+   hold a frame for the mutated path. *)
+let registry : t Weak.t ref = ref (Weak.create 8)
+
+let registered = ref 0
+
+let register pool =
+  (* Compact dead slots before growing: long-running processes create
+     pools per query, and the registry must not grow with their count. *)
+  let w = !registry in
+  let live = ref 0 in
+  for i = 0 to !registered - 1 do
+    match Weak.get w i with
+    | Some p ->
+      if !live < i then Weak.set w !live (Some p);
+      incr live
+    | None -> ()
+  done;
+  for i = !live to !registered - 1 do
+    Weak.set w i None
+  done;
+  registered := !live;
+  if !registered >= Weak.length w then begin
+    let bigger = Weak.create (2 * Weak.length w) in
+    Weak.blit w 0 bigger 0 !registered;
+    registry := bigger
+  end;
+  Weak.set !registry !registered (Some pool);
+  incr registered
+
 let create ~frames =
   if frames <= 0 then invalid_arg "Buffer_pool.create: frames must be positive";
-  {
-    capacity = frames;
-    table = Hashtbl.create (2 * frames);
-    clock = 0;
-    live = { page_reads = 0; hits = 0; evictions = 0 };
-  }
+  let t =
+    {
+      capacity = frames;
+      table = Hashtbl.create (2 * frames);
+      clock = 0;
+      live = { page_reads = 0; hits = 0; evictions = 0 };
+    }
+  in
+  register t;
+  t
+
+let invalidate t ~path ~from_page =
+  let victims =
+    Hashtbl.fold
+      (fun ((p, page) as key) _ acc ->
+        if String.equal p path && page >= from_page then key :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) victims;
+  let n = List.length victims in
+  if n > 0 then Subql_obs.Metrics.incr ~by:n m_invalidations;
+  n
+
+let invalidate_all ~path ~from_page =
+  let total = ref 0 in
+  for i = 0 to !registered - 1 do
+    match Weak.get !registry i with
+    | Some pool -> total := !total + invalidate pool ~path ~from_page
+    | None -> ()
+  done;
+  !total
 
 let frames t = t.capacity
 

@@ -2,9 +2,12 @@
 
     The pool caches pages from any number of files, keyed by
     [(file_path, page_no)].  Misses call the supplied loader; when the
-    pool is full the least-recently-used page is evicted.  All pages are
-    read-only here (the heap files are write-once), so eviction never
-    writes back.
+    pool is full the least-recently-used page is evicted.  Pages are
+    never mutated through the pool (heap files rewrite pages directly),
+    so eviction never writes back; instead a file append {e invalidates}
+    the affected tail pages in every live pool ({!invalidate_all}), so a
+    pool shared across an append can never serve a stale last-page
+    image.
 
     The stats make the paper's I/O argument observable: a coalesced GMDJ
     reads each detail page once; chained GMDJs read the file once per
@@ -44,3 +47,15 @@ val fetch : t -> key:string * int -> load:(unit -> bytes) -> bytes
 
 val resident : t -> int
 (** Pages currently cached. *)
+
+val invalidate : t -> path:string -> from_page:int -> int
+(** Drop every cached frame of [path] with page number [>= from_page];
+    returns the number of frames dropped.  Dropped frames count under
+    the registry counter ["storage.buffer_pool.invalidations"], not as
+    evictions. *)
+
+val invalidate_all : path:string -> from_page:int -> int
+(** {!invalidate} across every live pool in the process (pools register
+    themselves weakly at {!create}).  Called by [Heap_file.append] with
+    the first rewritten page, this makes the no-stale-page invariant
+    hold for pools the appender has never seen. *)

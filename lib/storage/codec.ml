@@ -60,6 +60,29 @@ let decode_value bytes ~pos =
 
 let encode_tuple buf (t : Tuple.t) = Array.iter (encode_value buf) t
 
+let check_tuple schema (t : Tuple.t) =
+  let arity = Schema.arity schema in
+  if Array.length t <> arity then
+    invalid_arg
+      (Printf.sprintf "Codec: tuple arity %d does not match the schema arity %d"
+         (Array.length t) arity);
+  Array.iteri
+    (fun i v ->
+      match Value.ty_of v with
+      | None -> () (* NULL fits any column *)
+      | Some ty ->
+        let a = Schema.attr_at schema i in
+        if ty <> a.Schema.ty then
+          invalid_arg
+            (Printf.sprintf "Codec: %s value in column %s (%s)" (Value.ty_to_string ty)
+               (Schema.qualified_name a)
+               (Value.ty_to_string a.Schema.ty)))
+    t
+
+let encode_tuple_checked buf schema (t : Tuple.t) =
+  check_tuple schema t;
+  encode_tuple buf t
+
 let decode_tuple bytes ~pos ~arity = Array.init arity (fun _ -> decode_value bytes ~pos)
 
 let value_bytes = function

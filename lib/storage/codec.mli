@@ -14,6 +14,16 @@ val decode_value : bytes -> pos:int ref -> Value.t
 
 val encode_tuple : Buffer.t -> Tuple.t -> unit
 
+val check_tuple : Schema.t -> Tuple.t -> unit
+(** Validate a raw tuple against a schema: the arity must match and every
+    non-NULL value must carry its column's type (NULL fits any column —
+    nullability is not tracked at this layer).
+    @raise Invalid_argument describing the first offending column. *)
+
+val encode_tuple_checked : Buffer.t -> Schema.t -> Tuple.t -> unit
+(** {!check_tuple} then {!encode_tuple}: the ingest append path uses this
+    so malformed rows are rejected before any page is written. *)
+
 val decode_tuple : bytes -> pos:int ref -> arity:int -> Tuple.t
 
 val tuple_bytes : Tuple.t -> int

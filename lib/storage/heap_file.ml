@@ -4,14 +4,19 @@ let magic = "SUBQLHF1"
 
 let header_bytes = 8 + 4 + 2 + 8 (* magic, page_size, arity, row_count *)
 
+let row_count_offset = 14
+
 type t = {
   path : string;
   fd : Unix.file_descr;
   schema : Schema.t;
   page_size : int;
-  pages : int;
-  row_count : int;
+  writable : bool;
+  mutable pages : int;
+  mutable row_count : int;
 }
+
+type delta = { first_page : int; skip : int; rows : int }
 
 let really_read fd buf =
   let n = Bytes.length buf in
@@ -40,7 +45,7 @@ let write ~path ?(page_size = 8192) rel =
   Bytes.blit_string magic 0 header 0 8;
   Bytes.set_int32_le header 8 (Int32.of_int page_size);
   Bytes.set_uint16_le header 12 (Schema.arity (Relation.schema rel));
-  Bytes.set_int64_le header 14 (Int64.of_int (Relation.cardinality rel));
+  Bytes.set_int64_le header row_count_offset (Int64.of_int (Relation.cardinality rel));
   really_write fd header;
   (* Data pages: greedy packing. *)
   let buf = Buffer.create page_size in
@@ -72,24 +77,26 @@ let write ~path ?(page_size = 8192) rel =
     fd;
     schema = Relation.schema rel;
     page_size;
+    writable = true;
     pages = !pages;
     row_count = Relation.cardinality rel;
   }
 
-let openfile ~path ~schema =
-  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+let openfile ~path ?(writable = false) ~schema () =
+  let flags = if writable then [ Unix.O_RDWR ] else [ Unix.O_RDONLY ] in
+  let fd = Unix.openfile path flags 0 in
   let header = Bytes.create header_bytes in
   really_read fd header;
   if Bytes.sub_string header 0 8 <> magic then
     invalid_arg "Heap_file.openfile: bad magic";
   let page_size = Int32.to_int (Bytes.get_int32_le header 8) in
   let arity = Bytes.get_uint16_le header 12 in
-  let row_count = Int64.to_int (Bytes.get_int64_le header 14) in
+  let row_count = Int64.to_int (Bytes.get_int64_le header row_count_offset) in
   if arity <> Schema.arity schema then
     invalid_arg "Heap_file.openfile: stored arity does not match the schema";
   let file_bytes = (Unix.fstat fd).Unix.st_size in
   let pages = (file_bytes / page_size) - 1 in
-  { path; fd; schema; page_size; pages; row_count }
+  { path; fd; schema; page_size; writable; pages; row_count }
 
 let close t = Unix.close t.fd
 
@@ -107,6 +114,88 @@ let read_page t page_no =
   really_read t.fd buf;
   buf
 
+(* ------------------------------------------------------------------ *)
+(* Appending                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let write_page_at t page_no ~count buf =
+  let page = Bytes.make t.page_size '\000' in
+  Bytes.set_uint16_le page 0 count;
+  Bytes.blit_string (Buffer.contents buf) 0 page 2 (Buffer.length buf);
+  ignore (Unix.lseek t.fd ((page_no + 1) * t.page_size) Unix.SEEK_SET);
+  really_write t.fd page
+
+let write_row_count t =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int t.row_count);
+  ignore (Unix.lseek t.fd row_count_offset Unix.SEEK_SET);
+  really_write t.fd b
+
+(* Shared append core: [feed emit] must call [emit] once per new row, in
+   order.  Rows are packed into the last existing page first (its live
+   payload is re-read from disk and extended), then into fresh pages.
+   The header row count is rewritten and every live buffer pool drops
+   its frames for the rewritten tail, so no pool — shared or not — can
+   serve the pre-append last-page image afterwards. *)
+let append_feed t feed =
+  if not t.writable then invalid_arg "Heap_file.append: file opened read-only";
+  let payload = t.page_size - 2 in
+  let buf = Buffer.create t.page_size in
+  let first_page = if t.pages = 0 then 0 else t.pages - 1 in
+  let page_no = ref first_page in
+  let count = ref 0 in
+  let skip = ref 0 in
+  if t.pages > 0 then begin
+    (* Resume packing inside the current last page: decode its tuples to
+       find the live payload prefix, then keep it verbatim. *)
+    let page = read_page t (t.pages - 1) in
+    let n = Bytes.get_uint16_le page 0 in
+    let pos = ref 2 in
+    for _ = 1 to n do
+      ignore (Codec.decode_tuple page ~pos ~arity:(Schema.arity t.schema))
+    done;
+    Buffer.add_subbytes buf page 2 (!pos - 2);
+    count := n;
+    skip := n
+  end;
+  let appended = ref 0 in
+  let flush () =
+    write_page_at t !page_no ~count:!count buf;
+    Buffer.clear buf;
+    count := 0;
+    incr page_no
+  in
+  feed (fun row ->
+      let size = Codec.tuple_bytes row in
+      if size > payload then invalid_arg "Heap_file.append: tuple exceeds the page payload";
+      if Buffer.length buf + size > payload then flush ();
+      Codec.encode_tuple_checked buf t.schema row;
+      incr count;
+      incr appended);
+  if !appended > 0 then begin
+    if !count > 0 then begin
+      write_page_at t !page_no ~count:!count buf;
+      incr page_no
+    end;
+    t.pages <- !page_no;
+    t.row_count <- t.row_count + !appended;
+    write_row_count t;
+    ignore (Buffer_pool.invalidate_all ~path:t.path ~from_page:first_page)
+  end;
+  { first_page; skip = !skip; rows = !appended }
+
+let append t rows =
+  (* Validate the whole batch before touching any page: a mid-batch
+     encoding failure must not leave half-written tail pages behind. *)
+  Array.iter (Codec.check_tuple t.schema) rows;
+  append_feed t (fun emit -> Array.iter emit rows)
+
+let append_source t source = append_feed t (fun emit -> Chunk.Source.iter (Chunk.iter emit) source)
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                              *)
+(* ------------------------------------------------------------------ *)
+
 let decode_page t page_no ~pool =
   let page =
     Buffer_pool.fetch pool ~key:(t.path, page_no) ~load:(fun () -> read_page t page_no)
@@ -123,14 +212,36 @@ let scan_pages t ~pool f =
 let scan t ~pool f = scan_pages t ~pool (fun rows -> Array.iter f rows)
 
 let source t ~pool =
+  (* Snapshot the page count: rows appended after the source is created
+     are not part of this scan (statement-level snapshot semantics). *)
+  let limit = t.pages in
   let page_no = ref 0 in
   Chunk.Source.create ~schema:t.schema (fun () ->
-      if !page_no >= t.pages then None
+      if !page_no >= limit then None
       else begin
         let rows = decode_page t !page_no ~pool in
         incr page_no;
         Some (Chunk.of_rows t.schema rows)
       end)
+
+let source_range t ~pool ~first_page ~skip =
+  if first_page < 0 || skip < 0 then invalid_arg "Heap_file.source_range: negative position";
+  let limit = t.pages in
+  let page_no = ref first_page in
+  let first = ref true in
+  Chunk.Source.create ~schema:t.schema (fun () ->
+      let rec pull () =
+        if !page_no >= limit then None
+        else begin
+          let rows = decode_page t !page_no ~pool in
+          let off = if !first then min skip (Array.length rows) else 0 in
+          first := false;
+          incr page_no;
+          let len = Array.length rows - off in
+          if len <= 0 then pull () else Some (Chunk.of_array ~off ~len t.schema rows)
+        end
+      in
+      pull ())
 
 let to_relation t ~pool =
   let out = Vec.create ~capacity:(max 1 t.row_count) ~dummy:Tuple.empty () in

@@ -55,34 +55,38 @@ let user_schema =
 
 let protocols = [| "FTP"; "DNS"; "SMTP"; "SSH" |]
 
+let flow_row config rng =
+  let horizon = config.n_hours * 3600 in
+  let src = Rng.int rng config.n_source_ips in
+  let dst = Rng.int rng config.n_dest_ips in
+  let protocol =
+    if Rng.bernoulli rng config.http_fraction then "HTTP" else Rng.choose rng protocols
+  in
+  let start = Rng.int rng horizon in
+  let duration = 1 + Rng.int rng 600 in
+  let pkts = 1 + Rng.int rng 1000 in
+  let bytes = pkts * (40 + Rng.int rng 1460) in
+  [|
+    Value.Str (ip src);
+    Value.Str (ip dst);
+    Value.Str protocol;
+    Value.Int start;
+    Value.Int (start + duration);
+    Value.Int bytes;
+    Value.Int pkts;
+  |]
+
+let flow_rows ?(seed = 7L) config n =
+  let rng = Rng.create ~seed in
+  Array.init n (fun _ -> flow_row config rng)
+
 let generate config =
   let rng = Rng.create ~seed:config.seed in
-  let horizon = config.n_hours * 3600 in
   let hours =
     Array.init config.n_hours (fun i ->
         [| Value.Int (i + 1); Value.Int (i * 3600); Value.Int ((i + 1) * 3600) |])
   in
-  let flows =
-    Array.init config.n_flows (fun _ ->
-        let src = Rng.int rng config.n_source_ips in
-        let dst = Rng.int rng config.n_dest_ips in
-        let protocol =
-          if Rng.bernoulli rng config.http_fraction then "HTTP" else Rng.choose rng protocols
-        in
-        let start = Rng.int rng horizon in
-        let duration = 1 + Rng.int rng 600 in
-        let pkts = 1 + Rng.int rng 1000 in
-        let bytes = pkts * (40 + Rng.int rng 1460) in
-        [|
-          Value.Str (ip src);
-          Value.Str (ip dst);
-          Value.Str protocol;
-          Value.Int start;
-          Value.Int (start + duration);
-          Value.Int bytes;
-          Value.Int pkts;
-        |])
-  in
+  let flows = Array.init config.n_flows (fun _ -> flow_row config rng) in
   let users =
     Array.init config.n_users (fun i ->
         let addr =

@@ -41,3 +41,9 @@ val user_schema : Schema.t
 
 val generate : config -> Catalog.t
 (** Catalog with tables ["Flow"], ["Hours"], ["User"]. *)
+
+val flow_rows : ?seed:int64 -> config -> int -> Tuple.t array
+(** [n] fresh flow rows drawn from the same distribution as
+    {!generate}'s [Flow] table — append batches for ingest experiments.
+    Deterministic in [seed] (default [7L], distinct from the catalog's
+    own stream so appended rows do not replicate existing ones). *)

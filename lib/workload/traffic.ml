@@ -25,6 +25,27 @@ let open_loop ?(seed = 1L) ~rate ~count ~skew () =
       now := !now +. gap;
       { at = !now; template = draw_template ~skew rng })
 
+type ingest_arrival = { at : float; rows : int }
+
+type mixed = Query of arrival | Append of ingest_arrival
+
+let with_ingest ?(rows = 100) ~every (arrivals : arrival list) =
+  if every <= 0. then invalid_arg "Traffic.with_ingest: every must be positive";
+  if rows <= 0 then invalid_arg "Traffic.with_ingest: rows must be positive";
+  let horizon = List.fold_left (fun acc (a : arrival) -> max acc a.at) 0. arrivals in
+  let n_appends = int_of_float (horizon /. every) in
+  let appends =
+    List.init n_appends (fun i -> Append { at = float_of_int (i + 1) *. every; rows })
+  in
+  let at = function Query q -> q.at | Append a -> a.at in
+  (* Appends sort before queries at the same instant: a query arriving
+     exactly when a batch lands reads the post-append state. *)
+  List.merge
+    (fun a b -> compare (at a, match a with Append _ -> 0 | Query _ -> 1)
+                  (at b, match b with Append _ -> 0 | Query _ -> 1))
+    (List.map (fun q -> Query q) arrivals)
+    appends
+
 let closed_loop ?(seed = 1L) ~clients ~per_client ~skew () =
   if clients <= 0 then invalid_arg "Traffic.closed_loop: clients must be positive";
   if per_client < 0 then invalid_arg "Traffic.closed_loop: per_client must be non-negative";

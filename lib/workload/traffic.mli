@@ -39,6 +39,22 @@ val open_loop : ?seed:int64 -> rate:float -> count:int -> skew:float -> unit -> 
     are exponential with mean [1/rate].  Sorted by arrival time.
     @raise Invalid_argument when [rate <= 0.] or [count < 0]. *)
 
+type ingest_arrival = {
+  at : float;  (** virtual arrival time of the append batch *)
+  rows : int;  (** rows in the batch *)
+}
+
+type mixed = Query of arrival | Append of ingest_arrival
+(** One event of an interleaved ingest + query trace. *)
+
+val with_ingest : ?rows:int -> every:float -> arrival list -> mixed list
+(** Overlay a deterministic append schedule on a query trace: one
+    [rows]-row batch (default 100) every [every] virtual seconds, up to
+    the trace horizon.  The result is time-sorted; an append ties ahead
+    of a query at the same instant, so that query reads the post-append
+    state.
+    @raise Invalid_argument when [every <= 0.] or [rows <= 0]. *)
+
 val closed_loop :
   ?seed:int64 -> clients:int -> per_client:int -> skew:float -> unit -> string list list
 (** One template sequence per client ([clients] lists of [per_client]

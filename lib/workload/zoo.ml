@@ -203,3 +203,8 @@ let catalog ?(outer = 64) ?(inner = 4096) ?(key_range = 32) ?(seed = 7L) () =
   let i = mk [ "k"; "y" ] inner (fun () -> [| cell rng key_range; cell rng 16 |]) in
   let j = mk [ "k"; "y" ] inner (fun () -> [| cell rng key_range; cell rng 16 |]) in
   Catalog.of_list [ ("O", o); ("I", i); ("J", j) ]
+
+let detail_rows ?(seed = 11L) ?(key_range = 32) n =
+  let rng = Rng.create ~seed in
+  let cell r bound = if Rng.bernoulli r 0.05 then Value.Null else Value.Int (Rng.int r bound) in
+  Array.init n (fun _ -> [| cell rng key_range; cell rng 16 |])

@@ -38,3 +38,9 @@ val catalog :
 (** A deterministic O/I/J database: [outer] rows in O, [inner] rows in
     each of I and J, integer keys uniform in [\[0, key_range)], ~5%
     NULLs.  Same seed, same database. *)
+
+val detail_rows : ?seed:int64 -> ?key_range:int -> int -> Subql_relational.Tuple.t array
+(** [n] fresh [(k, y)] rows from the same distribution as the detail
+    tables [I]/[J] — append batches for ingest experiments.
+    Deterministic in [seed] (default [11L], distinct from {!catalog}'s
+    stream). *)

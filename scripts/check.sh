@@ -174,6 +174,48 @@ print("BENCH_serve.json: verified, steady scans/query %.3f, steady p99 %s"
 PY
 
 echo
+echo "== bench smoke test: ingest target gates delta-maintenance regressions =="
+# The ingest benchmark self-gates (delta-maintained results == full
+# recompute everywhere, every append delta-maintained, wall-clock
+# speedup >= 5x at a 1% append ratio); on top of that, gate the
+# staleness sweep against the committed baseline: any stale read fails
+# outright, and per-cell p99 may not regress >25% (plus 100ms absolute
+# slack — the sweep runs the server saturated, where queueing amplifies
+# wall-clock jitter in the measured evaluation times).
+dune exec bench/main.exe -- ingest > /dev/null
+python3 - <<'PY'
+import json, sys
+with open("BENCH_ingest.json") as f:
+    fresh = json.load(f)
+with open("bench/BENCH_ingest.baseline.json") as f:
+    base = json.load(f)
+if fresh["verified"] is not True:
+    sys.exit("FAIL: BENCH_ingest.json reports verified != true")
+h = fresh["headline"]
+if h["all_delta"] is not True:
+    sys.exit("FAIL: headline appends fell back to recompute")
+if h["speedup"] < 5.0:
+    sys.exit(f"FAIL: delta maintenance speedup {h['speedup']:.1f}x < 5x at "
+             f"append ratio {h['append_ratio']:.0%}")
+base_cells = {(c["policy"], c["ingest_multiplier"]): c
+              for c in base["staleness"]["cells"]}
+for c in fresh["staleness"]["cells"]:
+    if c["fresh"] is not True:
+        sys.exit(f"FAIL: stale read under policy {c['policy']} at "
+                 f"ingest multiplier {c['ingest_multiplier']}")
+    b = base_cells.get((c["policy"], c["ingest_multiplier"]))
+    if b is None:
+        continue
+    limit = b["p99_ms"] * 1.25 + 100.0
+    if c["p99_ms"] > limit:
+        sys.exit(f"FAIL: p99 regressed under {c['policy']} x{c['ingest_multiplier']}: "
+                 f"{b['p99_ms']:.1f}ms -> {c['p99_ms']:.1f}ms (limit {limit:.1f}ms)")
+print("BENCH_ingest.json: verified, delta speedup %.1fx wall / %.1fx rows, "
+      "%d staleness cells all fresh"
+      % (h["speedup"], h["rows_speedup"], len(fresh["staleness"]["cells"])))
+PY
+
+echo
 echo "== CLI smoke test: serve batches piped statements through one scan =="
 serve_sql=$(mktemp /tmp/check_serve_XXXXXX.sql)
 cat > "$serve_sql" <<'SQL'
@@ -203,6 +245,42 @@ dout=$(dune exec bin/olap_cli.exe -- drive --queries 60 --rate 400 --outer 24 --
 echo "$dout"
 echo "$dout" | grep -q "latency p50" || {
   echo "FAIL: expected a latency summary line from drive" >&2
+  exit 1
+}
+
+echo
+echo "== CLI smoke test: ingest maintains cached results across appends =="
+iout=$(dune exec bin/olap_cli.exe -- ingest --flows 4000 --users 300 --batches 3 --batch-rows 200)
+echo "$iout"
+echo "$iout" | grep -q "ingested 600 rows in 3 batches" || {
+  echo "FAIL: expected the ingest summary to count 3 batches of 200 rows" >&2
+  exit 1
+}
+echo "$iout" | grep -Eq "maintain: [1-9][0-9]* delta" || {
+  echo "FAIL: expected at least one append to be delta-maintained" >&2
+  exit 1
+}
+# Every post-append query must be answered from the repaired entry.
+if [ "$(echo "$iout" | grep -c "query: .*cache hit")" != 3 ]; then
+  echo "FAIL: expected all 3 post-append queries to hit the repaired cache" >&2
+  exit 1
+fi
+
+echo
+echo "== CLI smoke test: drive interleaves ingest with live traffic =="
+dout=$(dune exec bin/olap_cli.exe -- drive --queries 60 --rate 200 --outer 24 --inner 1000 \
+  --ingest-rate 20 --ingest-batch 100 --staleness on-read)
+echo "$dout"
+echo "$dout" | grep -Eq "ingest: [1-9][0-9]* batches" || {
+  echo "FAIL: expected interleaved append batches in the drive output" >&2
+  exit 1
+}
+echo "$dout" | grep -q "completed 60" || {
+  echo "FAIL: expected all 60 queries to complete under interleaved ingest" >&2
+  exit 1
+}
+echo "$dout" | grep -Eq "repaired [1-9][0-9]*" || {
+  echo "FAIL: expected lazy maintenance to repair cached results" >&2
   exit 1
 }
 

@@ -1,0 +1,244 @@
+(* The ingest subsystem: per-table catalog epochs, appendable tables,
+   staleness policies, the delta-vs-recompute decision, and in-place
+   repair of cached results. *)
+
+open Subql_relational
+module Ingest = Subql_ingest.Ingest
+module Maintenance = Subql_ingest.Maintenance
+module Cache = Subql_mqo.Result_cache
+module Metrics = Subql_obs.Metrics
+module Zoo = Subql_workload.Zoo
+
+(* A hand-rolled zoo-shaped database small enough to reason about
+   exactly: "not-exists" answers {o2, o3} (no I row with k=2 or 3). *)
+let mini_catalog () =
+  let rel cols rows =
+    Relation.of_list
+      (Schema.of_list (List.map (fun c -> Schema.attr c Value.Tint) cols))
+      (List.map Array.of_list rows)
+  in
+  Catalog.of_list
+    [
+      ( "O",
+        rel [ "k"; "x" ]
+          [
+            [ Value.Int 1; Value.Int 10 ];
+            [ Value.Int 2; Value.Int 20 ];
+            [ Value.Int 3; Value.Int 30 ];
+          ] );
+      ("I", rel [ "k"; "y" ] [ [ Value.Int 1; Value.Int 5 ] ]);
+      ("J", rel [ "k"; "y" ] [ [ Value.Int 1; Value.Int 7 ] ]);
+    ]
+
+let row k y = [| Value.Int k; Value.Int y |]
+
+let solo catalog q =
+  Subql.Eval.eval catalog (Subql.Optimize.optimize (Subql.Transform.to_algebra q))
+
+let fp_of q = Subql_mqo.Batch.fingerprint (Subql_mqo.Batch.prepare q)
+
+(* --- catalog epochs --------------------------------------------------- *)
+
+let test_catalog_epochs () =
+  let c = mini_catalog () in
+  let e_i = Catalog.epoch c "I" and e_j = Catalog.epoch c "J" in
+  Catalog.add c "I" (Catalog.find c "I");
+  Alcotest.(check int) "re-registration bumps the table's epoch" (e_i + 1)
+    (Catalog.epoch c "I");
+  Alcotest.(check int) "other tables untouched" e_j (Catalog.epoch c "J");
+  Alcotest.(check int) "unknown tables sit at zero" 0 (Catalog.epoch c "nope")
+
+let test_append_bumps_epoch_once_per_batch () =
+  let c = mini_catalog () in
+  let cache = Cache.create ~min_cost:0. () in
+  let ing = Ingest.create ~catalog:c ~cache () in
+  let e0 = Catalog.epoch c "I" in
+  ignore (Ingest.append ing ~table:"I" [| row 2 6; row 3 9; row 4 1 |]);
+  Alcotest.(check int) "one epoch bump per batch, not per row" (e0 + 1)
+    (Catalog.epoch c "I");
+  Alcotest.(check (option int)) "appendable table tracks its rows" (Some 4)
+    (Ingest.table_rows ing "I");
+  Alcotest.(check int) "the catalog serves the grown relation" 4
+    (Relation.cardinality (Catalog.find c "I"));
+  (match Ingest.append ing ~table:"nope" [| row 1 1 |] with
+  | exception Catalog.Unknown_table _ -> ()
+  | _ -> Alcotest.fail "unknown table must be rejected");
+  Ingest.close ing
+
+(* --- epoch semantics: stale entries are never served ------------------ *)
+
+let test_stale_entry_never_served () =
+  let c = mini_catalog () in
+  let registry = Metrics.create () in
+  let cache = Cache.create ~min_cost:0. ~registry () in
+  let ing = Ingest.create ~policy:Ingest.Recompute_on_miss ~catalog:c ~cache () in
+  let fp = "stale-entry-test" in
+  ignore (Cache.store cache ~fingerprint:fp ~cost:1e9 (Catalog.find c "O"));
+  Alcotest.(check bool) "served while fresh" true (Option.is_some (Cache.lookup cache fp));
+  ignore (Ingest.append ing ~table:"I" [| row 9 9 |]);
+  (* Planners may peek at the stale body; queries must never get it. *)
+  Alcotest.(check bool) "peek still sees the stale body" true
+    (Option.is_some (Cache.peek cache fp));
+  Alcotest.(check bool) "never served after the append" true
+    (Option.is_none (Cache.lookup cache fp));
+  Alcotest.(check int) "the drop is counted as an invalidation" 1
+    (Metrics.counter_value_by_name registry "mqo.cache.invalidated");
+  Ingest.close ing
+
+(* --- repair and restamp ----------------------------------------------- *)
+
+let test_repair_and_restamp () =
+  let c = mini_catalog () in
+  let cache = Cache.create ~min_cost:0. () in
+  let q = Zoo.find_query "not-exists" in
+  let fp = fp_of q in
+  let ing = Ingest.create ~policy:Ingest.Maintain_on_write ~catalog:c ~cache () in
+  ignore (Ingest.register_query ing q);
+  ignore (Subql_mqo.Batch.run ~cache c [ q ]);
+  (* An append to the detail table re-answers the plan and restamps the
+     entry in place — the next lookup is a hit with the new answer. *)
+  ignore (Ingest.append ing ~table:"I" [| row 2 6 |]);
+  (match Cache.lookup cache fp with
+  | None -> Alcotest.fail "entry was dropped instead of repaired"
+  | Some rel ->
+    if not (Relation.equal_as_multiset (solo c q) rel) then
+      Alcotest.fail "repaired entry differs from recomputation");
+  (* An append to a table the plan never reads only restamps. *)
+  (match Ingest.append ing ~table:"J" [| row 5 5 |] with
+  | Some rep ->
+    Alcotest.(check int) "restamped, not recomputed" 1 rep.Maintenance.restamped;
+    Alcotest.(check int) "no recompute" 0 rep.Maintenance.recomputed
+  | None -> Alcotest.fail "maintain-on-write append must report");
+  Alcotest.(check bool) "still served after the unrelated append" true
+    (Option.is_some (Cache.lookup cache fp));
+  (* Repair is not admission. *)
+  Alcotest.(check bool) "repair refuses unknown fingerprints" false
+    (Cache.repair cache ~fingerprint:"absent" (Catalog.find c "O"));
+  Ingest.close ing
+
+(* --- staleness policies ----------------------------------------------- *)
+
+let test_policy_spellings () =
+  Alcotest.(check bool) "CLI spellings resolve" true
+    (Ingest.policy_of_string "on-write" = Some Ingest.Maintain_on_write
+    && Ingest.policy_of_string "on-read" = Some Ingest.Maintain_on_read
+    && Ingest.policy_of_string "recompute" = Some Ingest.Recompute_on_miss
+    && Ingest.policy_of_string "bogus" = None)
+
+let test_maintain_on_read_is_lazy () =
+  let c = mini_catalog () in
+  let cache = Cache.create ~min_cost:0. () in
+  let ing = Ingest.create ~policy:Ingest.Maintain_on_read ~catalog:c ~cache () in
+  let q = Zoo.find_query "not-exists" in
+  ignore (Ingest.register_query ing q);
+  ignore (Subql_mqo.Batch.run ~cache c [ q ]);
+  Alcotest.(check bool) "clean before any append" false (Ingest.dirty ing);
+  (match Ingest.append ing ~table:"I" [| row 2 6 |] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "on-read append must defer maintenance");
+  Alcotest.(check bool) "append marks dirty" true (Ingest.dirty ing);
+  Ingest.before_batch ing ~now:0.;
+  Alcotest.(check bool) "the serving hook repairs" false (Ingest.dirty ing);
+  (* The repaired entry serves the post-append answer. *)
+  (match Cache.lookup cache (fp_of q) with
+  | None -> Alcotest.fail "hook did not repair the entry"
+  | Some rel ->
+    if not (Relation.equal_as_multiset (solo c q) rel) then
+      Alcotest.fail "lazily repaired entry differs from recomputation");
+  (* Back-to-back appends coalesce into one repair per view. *)
+  ignore (Ingest.append ing ~table:"I" [| row 3 1 |]);
+  ignore (Ingest.append ing ~table:"I" [| row 4 2 |]);
+  (match Ingest.sync ing with
+  | Some rep ->
+    Alcotest.(check int) "one refresh covers both appends" 1
+      (rep.Maintenance.delta_maintained + rep.Maintenance.recomputed)
+  | None -> Alcotest.fail "dirty sync must report");
+  Alcotest.(check bool) "sync with nothing pending is a no-op" true
+    (Ingest.sync ing = None);
+  Ingest.close ing
+
+(* --- the delta-vs-recompute decision ---------------------------------- *)
+
+let test_delta_decision_is_cost_based () =
+  let run ~delta_row_cost =
+    let catalog = Zoo.catalog ~outer:16 ~inner:2_000 ~seed:5L () in
+    let cache = Cache.create ~min_cost:0. () in
+    let ing =
+      Ingest.create ~policy:Ingest.Maintain_on_write ~delta_row_cost ~catalog ~cache ()
+    in
+    let q = Zoo.find_query "not-exists" in
+    ignore (Ingest.register_query ing q);
+    ignore (Subql_mqo.Batch.run ~cache catalog [ q ]);
+    (* First append builds the accumulators (a full rebuild)... *)
+    ignore (Ingest.append ing ~table:"I" (Zoo.detail_rows ~seed:1L 20));
+    (* ...the second is where the planner has a real choice. *)
+    let r = Option.get (Ingest.append ing ~table:"I" (Zoo.detail_rows ~seed:2L 20)) in
+    let served =
+      match Cache.lookup cache (fp_of q) with
+      | Some rel -> Relation.equal_as_multiset (solo catalog q) rel
+      | None -> false
+    in
+    Ingest.close ing;
+    (r, served)
+  in
+  let cheap, served = run ~delta_row_cost:0.5 in
+  Alcotest.(check int) "cheap per-row cost folds the delta" 1
+    cheap.Maintenance.delta_maintained;
+  Alcotest.(check int) "exactly the appended rows folded" 20 cheap.Maintenance.delta_rows;
+  Alcotest.(check bool) "folding avoided a full detail scan" true
+    (cheap.Maintenance.avoided_rows > 1_000);
+  Alcotest.(check bool) "delta-maintained entry equals recompute" true served;
+  let costly, served = run ~delta_row_cost:1e12 in
+  Alcotest.(check int) "prohibitive per-row cost recomputes" 1
+    costly.Maintenance.recomputed;
+  Alcotest.(check int) "no delta folded" 0 costly.Maintenance.delta_maintained;
+  Alcotest.(check bool) "recomputed entry equals recompute" true served
+
+(* --- metrics ----------------------------------------------------------- *)
+
+let test_metrics_surfaced () =
+  let registry = Metrics.create () in
+  let c = mini_catalog () in
+  let cache = Cache.create ~min_cost:0. ~registry () in
+  let ing = Ingest.create ~registry ~catalog:c ~cache () in
+  let q = Zoo.find_query "not-exists" in
+  ignore (Ingest.register_query ing q);
+  ignore (Subql_mqo.Batch.run ~cache c [ q ]);
+  ignore (Ingest.append ing ~table:"I" [| row 2 6 |]);
+  ignore (Ingest.append ing ~table:"I" [| row 3 6; row 4 1 |]);
+  let v name = Metrics.counter_value_by_name registry name in
+  Alcotest.(check int) "ingest.rows_appended" 3 (v "ingest.rows_appended");
+  Alcotest.(check int) "ingest.batches" 2 (v "ingest.batches");
+  Alcotest.(check int) "mqo.cache.repaired" 2 (v "mqo.cache.repaired");
+  Alcotest.(check bool) "maintenance decisions counted" true
+    (v "ingest.maintain.delta" + v "ingest.maintain.recompute"
+     + v "ingest.maintain.restamp"
+    >= 2);
+  Ingest.close ing
+
+let () =
+  Alcotest.run "ingest"
+    [
+      ( "epochs",
+        [
+          Alcotest.test_case "catalog epochs are per table" `Quick test_catalog_epochs;
+          Alcotest.test_case "append bumps once per batch" `Quick
+            test_append_bumps_epoch_once_per_batch;
+          Alcotest.test_case "stale entries are never served" `Quick
+            test_stale_entry_never_served;
+        ] );
+      ( "maintenance",
+        [
+          Alcotest.test_case "repair in place, restamp when unrelated" `Quick
+            test_repair_and_restamp;
+          Alcotest.test_case "delta vs recompute is cost-based" `Quick
+            test_delta_decision_is_cost_based;
+        ] );
+      ( "policies",
+        [
+          Alcotest.test_case "CLI spellings" `Quick test_policy_spellings;
+          Alcotest.test_case "maintain-on-read defers to the read path" `Quick
+            test_maintain_on_read_is_lazy;
+        ] );
+      ("metrics", [ Alcotest.test_case "counters surfaced" `Quick test_metrics_surfaced ]);
+    ]

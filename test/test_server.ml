@@ -9,6 +9,7 @@ module Admission = Subql_server.Admission
 module Server = Subql_server.Server
 module Driver = Subql_server.Driver
 module Metrics = Subql_obs.Metrics
+module Ingest = Subql_ingest.Ingest
 
 let catalog () = Zoo.catalog ~outer:24 ~inner:512 ~key_range:16 ()
 
@@ -216,7 +217,8 @@ let test_traffic_arrivals_ordered_at_rate () =
   let trace = Traffic.open_loop ~seed:3L ~rate ~count ~skew:0.5 () in
   Alcotest.(check int) "count honoured" count (List.length trace);
   let rec ordered = function
-    | a :: (b :: _ as rest) -> a.Traffic.at <= b.Traffic.at && ordered rest
+    | (a : Traffic.arrival) :: (b :: _ as rest) ->
+      a.Traffic.at <= b.Traffic.at && ordered rest
     | _ -> true
   in
   Alcotest.(check bool) "non-decreasing arrival times" true (ordered trace);
@@ -349,6 +351,138 @@ let test_prepared_entries_match_plain_run () =
       check_rel "prepared result" a b)
     plain.Subql_mqo.Batch.results prepared.Subql_mqo.Batch.results
 
+(* --- ingest under live traffic --------------------------------------- *)
+
+(* A database small enough to reason about exactly: "not-exists" keeps
+   the O rows with no matching I key, so appending one I row visibly
+   changes the answer. *)
+let mini_catalog () =
+  let rel cols rows =
+    Relation.of_list
+      (Schema.of_list (List.map (fun c -> Schema.attr c Value.Tint) cols))
+      (List.map Array.of_list rows)
+  in
+  Catalog.of_list
+    [
+      ( "O",
+        rel [ "k"; "x" ]
+          [
+            [ Value.Int 1; Value.Int 10 ];
+            [ Value.Int 2; Value.Int 20 ];
+            [ Value.Int 3; Value.Int 30 ];
+          ] );
+      ("I", rel [ "k"; "y" ] [ [ Value.Int 1; Value.Int 5 ] ]);
+      ("J", rel [ "k"; "y" ] [ [ Value.Int 1; Value.Int 7 ] ]);
+    ]
+
+let only_completion msg = function
+  | [ { Server.completions = [ c ]; _ } ] -> c
+  | bs ->
+    Alcotest.failf "%s: expected one batch with one completion, got %d batches" msg
+      (List.length bs)
+
+let test_ingest_interleave_no_stale_reads () =
+  let cat = mini_catalog () in
+  let registry = Metrics.create () in
+  let cache = Subql_mqo.Result_cache.create ~min_cost:0. ~registry () in
+  let server = Server.create ~config:(config ()) ~cache ~registry cat in
+  let ing = Ingest.create ~policy:Ingest.Maintain_on_write ~registry ~catalog:cat ~cache () in
+  let q = Zoo.find_query "not-exists" in
+  ignore (Ingest.register_query ing q);
+  let pre = reference cat q in
+  (* A query queued before the write: [Server.ingest] drains it first,
+     so it is answered against the pre-append snapshot. *)
+  ignore (submit_ok server ~now:0. "not-exists");
+  let r =
+    match
+      Server.ingest server ~now:0.5 ~label:"append-I"
+        ~apply:(fun () ->
+          ignore (Ingest.append ing ~table:"I" [| [| Value.Int 2; Value.Int 6 |] |]);
+          1)
+        ()
+    with
+    | Ok r -> r
+    | Error rej -> Alcotest.failf "ingest rejected: %s" (Diag.to_string rej.Admission.diag)
+  in
+  Alcotest.(check int) "rows counted through the server" 1 r.Server.ingested_rows;
+  check_rel "queued query answered from the pre-append snapshot" pre
+    (only_completion "flushed" r.Server.flushed).Server.result;
+  (* The append changed the answer — and a query submitted after it must
+     see the change, served from the entry the write repaired in place. *)
+  let post = reference cat q in
+  Alcotest.(check bool) "the append visibly changed the answer" false
+    (Relation.equal_as_multiset pre post);
+  ignore (submit_ok server ~now:1. "not-exists");
+  (match Server.drain server ~now:2. with
+  | [ b ] ->
+    check_rel "post-append query sees the write"
+      post
+      (only_completion "post" [ b ]).Server.result;
+    Alcotest.(check int) "served from the repaired entry" 1
+      b.Server.report.Subql_mqo.Batch.cache_hits
+  | bs -> Alcotest.failf "expected one post-append batch, got %d" (List.length bs));
+  Alcotest.(check int) "repair, not re-admission" 1
+    (Metrics.counter_value_by_name registry "mqo.cache.repaired");
+  Ingest.close ing
+
+let test_replay_mixed_stays_fresh () =
+  let cat = catalog () in
+  let registry = Metrics.create () in
+  let cache = Subql_mqo.Result_cache.create ~min_cost:0. ~registry () in
+  let server =
+    Server.create ~config:(config ~batch_window:0.01 ~batch_max:8 ~queue_cap:1024 ())
+      ~cache ~registry cat
+  in
+  let ing = Ingest.create ~policy:Ingest.Maintain_on_read ~registry ~catalog:cat ~cache () in
+  List.iter
+    (fun t -> ignore (Ingest.register_query ing (Zoo.find_query t)))
+    Zoo.same_detail_templates;
+  Server.set_before_batch server (Some (fun ~now:_ -> Ingest.before_batch ing ~now:0.));
+  let batch = ref 0 in
+  let events =
+    Traffic.open_loop ~seed:11L ~rate:100. ~count:60 ~skew:1.0 ()
+    |> Traffic.with_ingest ~rows:16 ~every:0.1
+    |> List.map (function
+         | Traffic.Query (a : Traffic.arrival) ->
+           Driver.Query
+             {
+               Driver.at = a.Traffic.at;
+               label = a.Traffic.template;
+               query = Zoo.find_query a.Traffic.template;
+             }
+         | Traffic.Append (i : Traffic.ingest_arrival) ->
+           Driver.Ingest
+             {
+               Driver.at = i.Traffic.at;
+               label = "append";
+               apply =
+                 (fun () ->
+                   incr batch;
+                   ignore
+                     (Ingest.append ing ~table:"I"
+                        (Zoo.detail_rows ~seed:(Int64.of_int !batch) i.Traffic.rows));
+                   i.Traffic.rows);
+             })
+  in
+  let ms = Driver.replay_mixed server events in
+  Alcotest.(check int) "every query completed" 60 ms.Driver.queries.Driver.completed;
+  Alcotest.(check bool) "appends interleaved the run" true (ms.Driver.ingest_batches > 0);
+  Alcotest.(check int) "rows accounted per batch" (16 * ms.Driver.ingest_batches)
+    ms.Driver.ingest_rows;
+  (* Whatever was cached, repaired, or invalidated along the way, the
+     cache must now answer every template exactly like solo evaluation
+     of the final catalog — no stale entry survived the interleaving. *)
+  List.iter
+    (fun t ->
+      let q = Zoo.find_query t in
+      let report = Subql_mqo.Batch.run ~cache cat [ q ] in
+      check_rel (t ^ " fresh after interleaved run") (reference cat q)
+        (List.assoc 0 report.Subql_mqo.Batch.results))
+    Zoo.same_detail_templates;
+  Alcotest.(check bool) "lazy maintenance actually ran under the hook" true
+    (Metrics.counter_value_by_name registry "mqo.cache.repaired" > 0);
+  Ingest.close ing
+
 let () =
   Alcotest.run "server"
     [
@@ -400,5 +534,12 @@ let () =
         [
           Alcotest.test_case "prepared entries match plain run" `Quick
             test_prepared_entries_match_plain_run;
+        ] );
+      ( "ingest",
+        [
+          Alcotest.test_case "interleaved writes never serve stale reads" `Quick
+            test_ingest_interleave_no_stale_reads;
+          Alcotest.test_case "mixed replay stays fresh" `Quick
+            test_replay_mixed_stays_fresh;
         ] );
     ]

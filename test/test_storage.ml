@@ -73,7 +73,7 @@ let test_heap_roundtrip () =
       let pool = Buffer_pool.create ~frames:4 in
       Helpers.check_multiset_equal "write/scan roundtrip" rel (Heap_file.to_relation hf ~pool);
       (* Reopen from disk and scan again. *)
-      let reopened = Heap_file.openfile ~path ~schema:(Relation.schema rel) in
+      let reopened = Heap_file.openfile ~path ~schema:(Relation.schema rel) () in
       Helpers.check_multiset_equal "reopen roundtrip" rel (Heap_file.to_relation reopened ~pool);
       Heap_file.close reopened)
 
@@ -84,6 +84,7 @@ let test_heap_errors () =
       (match
          Heap_file.openfile ~path
            ~schema:(Schema.of_list [ Schema.attr "only_one" Value.Tint ])
+           ()
        with
       | exception Invalid_argument _ -> ()
       | hf2 ->
@@ -136,6 +137,113 @@ let test_source_matches_scan () =
       Alcotest.(check bool) "source order matches scan" true (same_order via_scan via_source);
       Alcotest.(check int) "all rows delivered" 1200 (List.length via_source);
       Alcotest.(check bool) "pool stays within frames" true (resident <= frames))
+
+(* --- Appends --------------------------------------------------------------- *)
+
+let rows_of rel =
+  let acc = ref [] in
+  Relation.iter (fun t -> acc := t :: !acc) rel;
+  Array.of_list (List.rev !acc)
+
+let fresh_rows ~from n =
+  Array.init n (fun i ->
+      let i = from + i in
+      [|
+        Value.Int (i mod 17);
+        (if i mod 5 = 0 then Value.Null else Value.Str (Printf.sprintf "row-%d" i));
+        Value.Int (i * 3);
+      |])
+
+let test_append_roundtrip () =
+  let rel = mk_rel 100 in
+  with_file rel ~page_size:512 (fun path hf ->
+      let pool = Buffer_pool.create ~frames:8 in
+      (* Two batches: the first finishes inside the last page's free
+         payload, the second spills onto fresh pages. *)
+      let d1 = Heap_file.append hf (fresh_rows ~from:100 3) in
+      let d2 = Heap_file.append hf (fresh_rows ~from:103 400) in
+      Alcotest.(check int) "rows counted" 503 (Heap_file.row_count hf);
+      Alcotest.(check int) "deltas counted" 3 d1.Heap_file.rows;
+      Alcotest.(check int) "deltas counted 2" 400 d2.Heap_file.rows;
+      let expected =
+        Relation.of_list (Relation.schema rel)
+          (Array.to_list (Array.append (rows_of rel) (fresh_rows ~from:100 403)))
+      in
+      Helpers.check_multiset_equal "grown file scans whole relation" expected
+        (Heap_file.to_relation hf ~pool);
+      (* Reopen from disk: the rewritten header and tail persisted. *)
+      let reopened = Heap_file.openfile ~path ~schema:(Relation.schema rel) () in
+      Alcotest.(check int) "reopened row count" 503 (Heap_file.row_count reopened);
+      Helpers.check_multiset_equal "reopen after append" expected
+        (Heap_file.to_relation reopened ~pool);
+      Heap_file.close reopened)
+
+let test_append_validates_batch () =
+  let rel = mk_rel 10 in
+  with_file rel ~page_size:512 (fun _path hf ->
+      let bad_arity = [| [| Value.Int 1 |] |] in
+      let bad_type =
+        [| fresh_rows ~from:10 1 |> fun a -> a.(0) |> Array.copy |]
+      in
+      bad_type.(0).(2) <- Value.Str "not an int";
+      (match Heap_file.append hf bad_arity with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "arity-invalid row must be rejected");
+      (match Heap_file.append hf bad_type with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "type-invalid row must be rejected");
+      (* The whole batch is checked before any page is written: a good
+         prefix ahead of a bad row must not land either. *)
+      let mixed = Array.append (fresh_rows ~from:10 2) bad_arity in
+      (match Heap_file.append hf mixed with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "mixed batch must be rejected");
+      Alcotest.(check int) "file untouched" 10 (Heap_file.row_count hf);
+      let pool = Buffer_pool.create ~frames:4 in
+      Helpers.check_multiset_equal "contents untouched" rel (Heap_file.to_relation hf ~pool))
+
+(* Regression: a pool that cached the last page before an append must
+   not serve the stale image afterwards — the append packed new rows
+   into that very page. *)
+let test_append_invalidates_shared_pool () =
+  let rel = mk_rel 100 in
+  with_file rel ~page_size:512 (fun path hf ->
+      let pool = Buffer_pool.create ~frames:64 in
+      Heap_file.scan hf ~pool (fun _ -> ());
+      let before = (Buffer_pool.stats pool).Buffer_pool.page_reads in
+      let d = Heap_file.append hf (fresh_rows ~from:100 50) in
+      Alcotest.(check bool) "append reuses the cached tail page" true
+        (d.Heap_file.first_page < Heap_file.pages hf);
+      let seen = ref 0 in
+      Heap_file.scan hf ~pool (fun _ -> incr seen);
+      (* All 150 rows visible through the same pool: the stale frames were
+         dropped and re-read, the untouched prefix stayed cached. *)
+      Alcotest.(check int) "no stale last-page image" 150 !seen;
+      let after = (Buffer_pool.stats pool).Buffer_pool.page_reads in
+      Alcotest.(check bool) "only the rewritten tail was re-read" true
+        (after - before >= 1 && after - before < Heap_file.pages hf);
+      (* A manual invalidate on an unrelated path is a no-op. *)
+      Alcotest.(check int) "unrelated path untouched" 0
+        (Buffer_pool.invalidate pool ~path:(path ^ ".other") ~from_page:0))
+
+let test_source_range_streams_exact_delta () =
+  let rel = mk_rel 100 in
+  with_file rel ~page_size:512 (fun _path hf ->
+      let pool = Buffer_pool.create ~frames:8 in
+      let batch = fresh_rows ~from:100 123 in
+      let d = Heap_file.append hf batch in
+      let streamed =
+        Chunk.Source.fold
+          (fun acc chunk -> Chunk.fold (fun acc t -> t :: acc) acc chunk)
+          []
+          (Heap_file.source_range hf ~pool ~first_page:d.Heap_file.first_page
+             ~skip:d.Heap_file.skip)
+        |> List.rev
+      in
+      Alcotest.(check int) "exactly the appended rows" (Array.length batch)
+        (List.length streamed);
+      Alcotest.(check bool) "in append order" true
+        (List.for_all2 Tuple.equal (Array.to_list batch) streamed))
 
 (* --- Buffer pool ---------------------------------------------------------- *)
 
@@ -225,6 +333,17 @@ let () =
           Alcotest.test_case "validation" `Quick test_heap_errors;
           Alcotest.test_case "source matches scan on a small pool" `Quick
             test_source_matches_scan;
+        ] );
+      ( "append",
+        [
+          Alcotest.test_case "append grows pages and survives reopen" `Quick
+            test_append_roundtrip;
+          Alcotest.test_case "batch is schema-checked before writing" `Quick
+            test_append_validates_batch;
+          Alcotest.test_case "shared pool never serves a stale tail" `Quick
+            test_append_invalidates_shared_pool;
+          Alcotest.test_case "source_range streams exactly the delta" `Quick
+            test_source_range_streams_exact_delta;
         ] );
       ("buffer-pool", [ Alcotest.test_case "caching and eviction" `Quick test_pool_caching ]);
       ( "paged-gmdj",
