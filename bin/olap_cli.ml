@@ -86,22 +86,21 @@ let resolve_catalog data workload flows users scale seed =
 let engine_names =
   [ "auto"; "native"; "native-plain"; "unnest"; "unnest-noidx"; "gmdj"; "gmdj-scan"; "gmdj-opt" ]
 
-let run_engine engine catalog query =
+(* [config] carries the execution mode (join/GMDJ strategy, domains, spill
+   budget); the native engines do not go through the algebra and ignore it. *)
+let run_engine ~config engine catalog query =
   match engine with
-  | "auto" -> Subql.Planner.run catalog query
+  | "auto" -> Subql.Planner.run ~config catalog query
   | "native" -> Subql_nested.Naive_eval.eval ~mode:Subql_nested.Naive_eval.Smart catalog query
   | "native-plain" ->
     Subql_nested.Naive_eval.eval ~mode:Subql_nested.Naive_eval.Plain catalog query
-  | "unnest" -> Subql.Eval.eval catalog (Subql_unnest.Unnest.best catalog query)
-  | "unnest-noidx" ->
-    Subql.Eval.eval ~config:Subql.Eval.unindexed_config catalog
-      (Subql_unnest.Unnest.best catalog query)
-  | "gmdj" -> Subql.Eval.eval catalog (Subql.Transform.to_algebra query)
-  | "gmdj-scan" ->
-    Subql.Eval.eval ~config:Subql.Eval.unindexed_config catalog
-      (Subql.Transform.to_algebra query)
+  | "unnest" | "unnest-noidx" ->
+    Subql.Eval.eval ~config catalog (Subql_unnest.Unnest.best catalog query)
+  | "gmdj" | "gmdj-scan" ->
+    Subql.Eval.eval ~config catalog (Subql.Transform.to_algebra query)
   | "gmdj-opt" ->
-    Subql.Eval.eval catalog (Subql.Optimize.optimize (Subql.Transform.to_algebra query))
+    Subql.Eval.eval ~config catalog
+      (Subql.Optimize.optimize (Subql.Transform.to_algebra query))
   | other ->
     failwith
       (Printf.sprintf "unknown engine %S (known: %s)" other (String.concat ", " engine_names))
@@ -133,6 +132,30 @@ let scale_arg =
   Arg.(value & opt float 0.001 & info [ "scale" ] ~doc:"Scale factor (tpc).")
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.")
+
+let default_domains = min (Domain.recommended_domain_count ()) 4
+
+let domains_arg =
+  Arg.(value & opt int default_domains & info [ "domains" ] ~docv:"N"
+         ~doc:"Execute pipeline breakers and GMDJs across $(docv) domains \
+               (default: the machine's recommended count, capped at 4). \
+               1 disables the exchange.")
+
+let spill_budget_arg =
+  Arg.(value & opt int 0 & info [ "spill-budget" ] ~docv:"ROWS"
+         ~doc:"Cap pipeline-breaker hash state at $(docv) resident rows; the \
+               excess is partitioned through temp heap files and merged in a \
+               second pass. 0 keeps everything in memory.")
+
+(* Apply the execution-mode flags to a base config.  --spill-budget 0 means
+   "never spill"; Eval gives an explicit budget precedence over the exchange
+   at breakers, so both flags compose. *)
+let exec_config base ~domains ~spill_budget =
+  {
+    base with
+    Subql.Eval.domains;
+    spill_budget_rows = (if spill_budget <= 0 then None else Some spill_budget);
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                             *)
@@ -180,8 +203,8 @@ let run_cmd =
   let limit_arg =
     Arg.(value & opt int 50 & info [ "limit" ] ~doc:"Print at most this many rows.")
   in
-  let run data workload flows users scale seed engine timed analyze explain_analyze metrics
-      trace_file limit sql =
+  let run data workload flows users scale seed domains spill_budget engine timed analyze
+      explain_analyze metrics trace_file limit sql =
     let catalog = resolve_catalog data workload flows users scale seed in
     let stmt = parse_sql sql in
     Option.iter (fun _ -> Subql_obs.Trace.set_enabled true) trace_file;
@@ -201,8 +224,11 @@ let run_cmd =
       | _ -> Subql.Optimize.optimize (Subql.Transform.to_algebra query)
     in
     let config =
-      if engine = "gmdj-scan" || engine = "unnest-noidx" then Subql.Eval.unindexed_config
-      else Subql.Eval.default_config
+      let base =
+        if engine = "gmdj-scan" || engine = "unnest-noidx" then Subql.Eval.unindexed_config
+        else Subql.Eval.default_config
+      in
+      exec_config base ~domains ~spill_budget
     in
     let t0 = Unix.gettimeofday () in
     let feedback = ref None in
@@ -218,11 +244,11 @@ let run_cmd =
         result
       end
       else if engine = "auto" then begin
-        let result, fb = Subql.Planner.run_with_feedback catalog query in
+        let result, fb = Subql.Planner.run_with_feedback ~config catalog query in
         feedback := Some fb;
         result
       end
-      else run_engine engine catalog query
+      else run_engine ~config engine catalog query
     in
     let result = Subql_sql.Parser.apply_grouping stmt result in
     let result = Subql_sql.Parser.apply_post stmt result in
@@ -256,8 +282,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Parse and evaluate a SQL query")
     Term.(
       const run $ data_arg $ workload_arg $ flows_arg $ users_arg $ scale_arg $ seed_arg
-      $ engine_arg $ time_arg $ analyze_arg $ explain_analyze_arg $ metrics_arg $ trace_arg
-      $ limit_arg $ sql_arg)
+      $ domains_arg $ spill_budget_arg $ engine_arg $ time_arg $ analyze_arg
+      $ explain_analyze_arg $ metrics_arg $ trace_arg $ limit_arg $ sql_arg)
 
 let explain_cmd =
   let run data workload flows users scale seed sql =
@@ -449,7 +475,7 @@ let serve_metrics_arg =
   Arg.(value & flag & info [ "metrics" ]
          ~doc:"On exit, dump the metrics registry (includes the server.* series).")
 
-let server_config window bmax mem_budget qcap =
+let server_config window bmax mem_budget qcap ~domains ~spill_budget =
   {
     Server.batch_window = window;
     batch_max = bmax;
@@ -458,7 +484,7 @@ let server_config window bmax mem_budget qcap =
         Admission.mem_budget_rows = (if mem_budget <= 0. then infinity else mem_budget);
         queue_cap = qcap;
       };
-    eval_config = Subql.Eval.default_config;
+    eval_config = exec_config Subql.Eval.default_config ~domains ~spill_budget;
   }
 
 let pp_rejection ppf (r : Admission.rejection) =
@@ -506,10 +532,10 @@ let print_server_summary registry =
       (c "ingest.maintain.restamp")
 
 let serve_cmd =
-  let run data workload flows users scale seed window bmax mem_budget qcap min_cost
-      metrics =
+  let run data workload flows users scale seed domains spill_budget window bmax mem_budget
+      qcap min_cost metrics =
     let catalog = resolve_catalog data workload flows users scale seed in
-    let config = server_config window bmax mem_budget qcap in
+    let config = server_config window bmax mem_budget qcap ~domains ~spill_budget in
     let cache = Subql_mqo.Result_cache.create ~min_cost () in
     let server = Server.create ~config ~cache catalog in
     let now () = Unix.gettimeofday () in
@@ -592,8 +618,8 @@ let serve_cmd =
              drain on EOF")
     Term.(
       const run $ data_arg $ workload_arg $ flows_arg $ users_arg $ scale_arg $ seed_arg
-      $ batch_window_arg $ batch_max_arg $ mem_budget_arg $ queue_cap_arg
-      $ serve_min_cost_arg $ serve_metrics_arg)
+      $ domains_arg $ spill_budget_arg $ batch_window_arg $ batch_max_arg $ mem_budget_arg
+      $ queue_cap_arg $ serve_min_cost_arg $ serve_metrics_arg)
 
 let drive_cmd =
   let outer_arg =
@@ -642,10 +668,10 @@ let drive_cmd =
                  synchronously on every append, lazily before the next query \
                  batch, or never (stale entries drop and queries recompute).")
   in
-  let run outer inner seed window bmax mem_budget qcap min_cost metrics rate queries
-      skew mode clients think ingest_rate ingest_batch staleness =
+  let run outer inner seed domains spill_budget window bmax mem_budget qcap min_cost
+      metrics rate queries skew mode clients think ingest_rate ingest_batch staleness =
     let catalog = Subql_workload.Zoo.catalog ~outer ~inner () in
-    let config = server_config window bmax mem_budget qcap in
+    let config = server_config window bmax mem_budget qcap ~domains ~spill_budget in
     let cache = Subql_mqo.Result_cache.create ~min_cost () in
     let server = Server.create ~config ~cache catalog in
     let tseed = Int64.of_int seed in
@@ -775,10 +801,11 @@ let drive_cmd =
              interleaved with ingest batches — and replay it against the serving \
              loop, printing the latency summary")
     Term.(
-      const run $ outer_arg $ inner_arg $ seed_arg $ batch_window_arg $ batch_max_arg
-      $ mem_budget_arg $ queue_cap_arg $ serve_min_cost_arg $ serve_metrics_arg
-      $ rate_arg $ queries_arg $ skew_arg $ mode_arg $ clients_arg $ think_arg
-      $ ingest_rate_arg $ ingest_batch_arg $ staleness_arg)
+      const run $ outer_arg $ inner_arg $ seed_arg $ domains_arg $ spill_budget_arg
+      $ batch_window_arg $ batch_max_arg $ mem_budget_arg $ queue_cap_arg
+      $ serve_min_cost_arg $ serve_metrics_arg $ rate_arg $ queries_arg $ skew_arg
+      $ mode_arg $ clients_arg $ think_arg $ ingest_rate_arg $ ingest_batch_arg
+      $ staleness_arg)
 
 let ingest_cmd =
   let batches_arg =
@@ -883,7 +910,7 @@ let bench_note_cmd =
   let run () =
     print_endline "The figure-reproduction harness lives in a separate executable:";
     print_endline
-      "  dune exec bench/main.exe -- [fig2|fig3|fig4|fig5|fig5-noindex|ablation|micro|obs|mqo|exec|serve|ingest|all] [--full]"
+      "  dune exec bench/main.exe -- [fig2|fig3|fig4|fig5|fig5-noindex|ablation|micro|obs|mqo|exec|par|serve|ingest|all] [--full]"
   in
   Cmd.v (Cmd.info "bench" ~doc:"Where to find the benchmark harness") Term.(const run $ const ())
 

@@ -274,3 +274,70 @@ let memory_height stats ~config alg =
       Float.max (h base) (Float.max (mb +. h detail) (mb +. rows alg))
   in
   h alg
+
+(* An equi conjunct between differently-qualified attributes is what
+   [Spill.join] partitions on — the same syntactic test the GMDJ hash
+   strategy uses ([block_hashable]). *)
+let join_partitionable cond = block_hashable cond
+
+(* Memory height under the configured spill budget: breaker state that
+   the spilling operators bound (DISTINCT / GROUP BY hash state,
+   equi-join inputs) is capped at the budget, with the excess
+   accumulated as predicted {e spill} volume — disk, not resident
+   memory.  Unspillable state (Product, Diff_all, non-equi joins, the
+   GMDJ base matrix, every operator's emitted output) stays resident.
+   With no budget configured this is exactly {!memory_height} (spill
+   0).  The resident component is what an admission memory budget
+   should gate on; the spill component prices the I/O the plan would
+   push through temp heap files instead. *)
+let memory_height_spill stats ~config alg =
+  match config.Eval.spill_budget_rows with
+  | None -> (memory_height stats ~config alg, 0.0)
+  | Some b ->
+    let budget = float_of_int b in
+    let rows sub = (estimate stats ~config sub).rows in
+    let mat_rows sub =
+      match sub with
+      | Algebra.Table _ | Algebra.Rename (_, Algebra.Table _) -> 0.0
+      | _ -> rows sub
+    in
+    let spilled = ref 0.0 in
+    let cap r =
+      if r > budget then begin
+        spilled := !spilled +. (r -. budget);
+        budget
+      end
+      else r
+    in
+    let rec h alg =
+      match alg with
+      | Algebra.Table _ -> 0.0
+      | Algebra.Rename (_, x)
+      | Algebra.Select (_, x)
+      | Algebra.Project (_, x)
+      | Algebra.Project_rel (_, x)
+      | Algebra.Add_rownum (_, x) ->
+        h x
+      | Algebra.Project_cols { distinct; input; _ } ->
+        if distinct then Float.max (h input) (cap (rows alg)) else h input
+      | Algebra.Distinct x -> Float.max (h x) (cap (rows alg))
+      | Algebra.Group_by { input; _ } -> Float.max (h input) (cap (rows alg))
+      | Algebra.Aggregate_all (_, x) -> Float.max (h x) 1.0
+      | Algebra.Union_all (l, r) -> Float.max (h l) (h r)
+      | Algebra.Join { cond; left = l; right = r; _ } when join_partitionable cond ->
+        (* Grace hash join: each side is held resident only up to the
+           budget; partitions then join pairwise, so the capped pair
+           plus the output is the live state. *)
+        let ml = cap (mat_rows l) and mr = cap (mat_rows r) in
+        Float.max (h l) (Float.max (ml +. h r) (ml +. mr +. rows alg))
+      | Algebra.Product (l, r)
+      | Algebra.Join { left = l; right = r; _ }
+      | Algebra.Diff_all (l, r) ->
+        let ml = mat_rows l and mr = mat_rows r in
+        Float.max (h l) (Float.max (ml +. h r) (ml +. mr +. rows alg))
+      | Algebra.Md { base; detail; _ } | Algebra.Md_completed { base; detail; _ } ->
+        let mb = mat_rows base in
+        Float.max (h base) (Float.max (mb +. h detail) (mb +. rows alg))
+    in
+    let resident = h alg in
+    (resident, !spilled)

@@ -44,6 +44,16 @@ val memory_height : Stats.t -> config:Eval.config -> Algebra.t -> float
     inputs plus their output; tables (and aliases over tables) are
     zero-copy inputs and free.  Heuristic, like {!estimate}. *)
 
+val memory_height_spill : Stats.t -> config:Eval.config -> Algebra.t -> float * float
+(** [(resident, spilled)] under the config's spill budget: breaker state
+    the spilling operators bound (DISTINCT / GROUP BY hash state,
+    equi-join inputs) is capped at [spill_budget_rows], with the excess
+    accumulated as predicted spill volume in rows — disk, not resident
+    memory.  With no budget configured, equals
+    [(memory_height ..., 0.0)].  Admission gates on the resident
+    component ({!Subql_server.Admission}); the spill component prices
+    the temp-file I/O the plan would do instead. *)
+
 val selectivity : Stats.t -> origins:(string * string) list -> Expr.t -> float
 (** Predicate selectivity.  [origins] maps relation aliases to base
     tables so equality on a column with a known distinct count can use

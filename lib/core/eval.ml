@@ -4,11 +4,14 @@ open Subql_gmdj
 type config = {
   join_strategy : Ops.join_strategy;
   gmdj_strategy : Gmdj.strategy;
+  domains : int;
+  spill_budget_rows : int option;
 }
 
-let default_config = { join_strategy = `Hash; gmdj_strategy = `Hash }
+let default_config =
+  { join_strategy = `Hash; gmdj_strategy = `Hash; domains = 1; spill_budget_rows = None }
 
-let unindexed_config = { join_strategy = `Nested_loop; gmdj_strategy = `Scan }
+let unindexed_config = { default_config with join_strategy = `Nested_loop; gmdj_strategy = `Scan }
 
 let schema catalog alg =
   Algebra.schema_of ~lookup:(fun name -> Relation.schema (Catalog.find catalog name)) alg
@@ -197,6 +200,67 @@ let validate_override ctx alg r =
                  "override result schema %a does not match the node's inferred schema %a"
                  Schema.pp got Schema.pp expected)))
 
+(* ------------------------------------------------------------------ *)
+(* Pipeline-breaker execution modes                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A spilling breaker bounds its resident state at the configured budget
+   and pushes the overflow through temp heap files; its resident
+   high-water enters the accounting for the operator's lifetime, so
+   [peak_materialized_rows] reports what was actually held rather than
+   what a fully in-memory breaker would have needed. *)
+let spill_outcome ctx (o : Subql_storage.Spill.outcome) =
+  acct_alloc ctx.acct o.Subql_storage.Spill.resident_peak_rows;
+  acct_release ctx.acct o.Subql_storage.Spill.resident_peak_rows;
+  o.Subql_storage.Spill.result
+
+(* DISTINCT / GROUP BY under the configured execution mode: spilling
+   when a budget is set (resident hash state freezes at the budget,
+   overflow goes through temp heap files), exchange-parallel when
+   [domains > 1] (rows are hash-partitioned on the breaker key, so the
+   per-domain states are key-disjoint and their results concatenate),
+   serial streaming otherwise. *)
+let run_distinct ctx src =
+  match ctx.config.spill_budget_rows with
+  | Some budget -> spill_outcome ctx (Subql_storage.Spill.distinct ~budget src)
+  | None ->
+    if ctx.config.domains > 1 then begin
+      let schema = Chunk.Source.schema src in
+      let rows =
+        Chunk.Exchange.fold ~domains:ctx.config.domains ~partition:Tuple.hash
+          ~init:(fun _ -> Ops.Distinct_acc.create ())
+          ~fold:(fun acc c ->
+            Chunk.iter (fun row -> ignore (Ops.Distinct_acc.add acc row)) c;
+            acc)
+          ~finish:Ops.Distinct_acc.rows src
+      in
+      Relation.create ~check:false schema (Array.concat rows)
+    end
+    else Ops.distinct_source src
+
+let run_group_by ctx ~keys ~aggs src =
+  match ctx.config.spill_budget_rows with
+  | Some budget -> spill_outcome ctx (Subql_storage.Spill.group_by ~budget ~keys ~aggs src)
+  | None ->
+    if ctx.config.domains > 1 then begin
+      let schema = Chunk.Source.schema src in
+      (* Compiled once on the coordinator purely to route rows by group
+         key; every worker compiles its own aggregate state. *)
+      let probe = Ops.Group_acc.create ~schema ~keys ~aggs in
+      let rows =
+        Chunk.Exchange.fold ~domains:ctx.config.domains
+          ~partition:(fun row -> Tuple.hash (Ops.Group_acc.key_of probe row))
+          ~init:(fun _ -> Ops.Group_acc.create ~schema ~keys ~aggs)
+          ~fold:(fun acc c ->
+            Chunk.iter (Ops.Group_acc.step acc) c;
+            acc)
+          ~finish:(fun acc -> Relation.rows (Ops.Group_acc.result acc))
+          src
+      in
+      Relation.create ~check:false (Ops.Group_acc.out_schema probe) (Array.concat rows)
+    end
+    else Ops.group_by_source ~keys ~aggs src
+
 let gmdj_trace_attrs ~strategy ~blocks ~base ~completion =
   let base_attrs =
     [
@@ -252,7 +316,7 @@ let dispatch ctx ?gmdj_stats ~(child : Algebra.t -> streamed) alg =
   | Algebra.Project_cols { cols; distinct; _ } ->
     let c = child (List.hd (children alg)) in
     if distinct then begin
-      let r = Ops.distinct_source (Ops.project_cols_source cols c.src) in
+      let r = run_distinct ctx (Ops.project_cols_source cols c.src) in
       c.release ();
       emit ctx alg r
     end
@@ -279,24 +343,45 @@ let dispatch ctx ?gmdj_stats ~(child : Algebra.t -> streamed) alg =
     lfree ();
     rfree ();
     emit ctx alg out
-  | Algebra.Join { kind; cond; left; right } ->
+  | Algebra.Join { kind; cond; left; right } -> (
     let cl = child left and cr = child right in
-    let lrel, lfree = materialize ctx cl in
-    let rrel, rfree = materialize ctx cr in
     let strategy = ctx.config.join_strategy in
-    let out =
-      match kind with
-      | Algebra.Inner -> Ops.join ~strategy cond lrel rrel
-      | Algebra.Left_outer -> Ops.left_outer_join ~strategy cond lrel rrel
-      | Algebra.Semi -> Ops.semi_join ~strategy cond lrel rrel
-      | Algebra.Anti -> Ops.anti_join ~strategy cond lrel rrel
-    in
-    lfree ();
-    rfree ();
-    emit ctx alg out
+    match ctx.config.spill_budget_rows with
+    | Some budget ->
+      (* Grace hash join straight off the child streams: neither side is
+         materialized here — Spill collects up to the budget and
+         hash-partitions the rest to temp heap files. *)
+      let kind =
+        match kind with
+        | Algebra.Inner -> `Inner
+        | Algebra.Left_outer -> `Left_outer
+        | Algebra.Semi -> `Semi
+        | Algebra.Anti -> `Anti
+      in
+      let out =
+        spill_outcome ctx
+          (Subql_storage.Spill.join ~budget ~strategy ~kind ~cond ~left:cl.src
+             ~right:cr.src ())
+      in
+      cl.release ();
+      cr.release ();
+      emit ctx alg out
+    | None ->
+      let lrel, lfree = materialize ctx cl in
+      let rrel, rfree = materialize ctx cr in
+      let out =
+        match kind with
+        | Algebra.Inner -> Ops.join ~strategy cond lrel rrel
+        | Algebra.Left_outer -> Ops.left_outer_join ~strategy cond lrel rrel
+        | Algebra.Semi -> Ops.semi_join ~strategy cond lrel rrel
+        | Algebra.Anti -> Ops.anti_join ~strategy cond lrel rrel
+      in
+      lfree ();
+      rfree ();
+      emit ctx alg out)
   | Algebra.Group_by { keys; aggs; _ } ->
     let c = child (List.hd (children alg)) in
-    let out = Ops.group_by_source ~keys ~aggs c.src in
+    let out = run_group_by ctx ~keys ~aggs c.src in
     c.release ();
     emit ctx alg out
   | Algebra.Aggregate_all (aggs, x) ->
@@ -312,9 +397,28 @@ let dispatch ctx ?gmdj_stats ~(child : Algebra.t -> streamed) alg =
     match Chunk.Source.origin cd.src with
     | Some detail ->
       (* Materialized detail: the classic evaluator (its own span and
-         registry publication, including the `Reference strategy). *)
+         registry publication, including the `Reference strategy) — or
+         its partitioned twin when parallelism is configured. *)
       Chunk.Source.close cd.src;
-      let out = Gmdj.eval ~strategy ?stats:gmdj_stats ~base ~detail blocks in
+      let out =
+        if ctx.config.domains > 1 then
+          Gmdj.eval_partitioned ~strategy ?stats:gmdj_stats ~domains:ctx.config.domains
+            ~base ~detail blocks
+        else Gmdj.eval ~strategy ?stats:gmdj_stats ~base ~detail blocks
+      in
+      cd.release ();
+      bfree ();
+      emit ctx alg out
+    | None when ctx.config.domains > 1 ->
+      (* Streamed detail over the exchange: the coordinator pulls chunks
+         (storage scans stay single-domain) and [domains] workers fold
+         them into per-domain accumulator matrices, merged at the end. *)
+      let out =
+        Gmdj.Parallel.fold_source ~strategy ?stats:gmdj_stats ~domains:ctx.config.domains
+          ~base
+          ~detail_schema:(Chunk.Source.schema cd.src)
+          cd.src blocks
+      in
       cd.release ();
       bfree ();
       emit ctx alg out
@@ -346,7 +450,26 @@ let dispatch ctx ?gmdj_stats ~(child : Algebra.t -> streamed) alg =
     | Some detail ->
       Chunk.Source.close cd.src;
       let out =
-        Gmdj.eval_completed ~strategy ?stats:gmdj_stats ~completion ~base ~detail blocks
+        if ctx.config.domains > 1 then
+          Gmdj.eval_completed_partitioned ~strategy ?stats:gmdj_stats
+            ~domains:ctx.config.domains ~completion ~base ~detail blocks
+        else
+          Gmdj.eval_completed ~strategy ?stats:gmdj_stats ~completion ~base ~detail blocks
+      in
+      cd.release ();
+      bfree ();
+      emit ctx alg out
+    | None when ctx.config.domains > 1 ->
+      (* Streamed detail over the exchange: workers run the completion
+         machinery on their shares and the verdicts merge (kill/fire are
+         monotone).  The coordinator keeps pulling the whole stream —
+         the saturation-driven storage exit below is a serial-only
+         refinement. *)
+      let out =
+        Gmdj.Parallel.fold_completed_source ~strategy ?stats:gmdj_stats
+          ~domains:ctx.config.domains ~completion ~base
+          ~detail_schema:(Chunk.Source.schema cd.src)
+          cd.src blocks
       in
       cd.release ();
       bfree ();
@@ -398,7 +521,7 @@ let dispatch ctx ?gmdj_stats ~(child : Algebra.t -> streamed) alg =
     emit ctx alg out
   | Algebra.Distinct x ->
     let c = child x in
-    let out = Ops.distinct_source c.src in
+    let out = run_distinct ctx c.src in
     c.release ();
     emit ctx alg out
 
@@ -448,10 +571,12 @@ let rec run_eager ctx hooks alg =
     in
     (result, free, ann)
 
-let publish_run acct =
+let publish_run ctx =
   let open Subql_obs in
-  Metrics.(incr ~by:acct.chunks (counter default "eval.chunks"));
-  Metrics.(set (gauge default "eval.peak_materialized_rows") (float_of_int acct.peak_rows))
+  Metrics.(incr ~by:ctx.acct.chunks (counter default "eval.chunks"));
+  Metrics.(
+    set (gauge default "eval.peak_materialized_rows") (float_of_int ctx.acct.peak_rows));
+  Metrics.(set (gauge default "exec.domains") (float_of_int ctx.config.domains))
 
 let no_sources _ = None
 
@@ -471,7 +596,7 @@ let run_to_relation ctx ?gmdj_stats alg =
   let s = run_stream ctx ?gmdj_stats alg in
   let r, free = materialize ctx s in
   free ();
-  publish_run ctx.acct;
+  publish_run ctx;
   r
 
 let eval ?(config = default_config) ?gmdj_stats catalog alg =
@@ -566,7 +691,7 @@ let eval_analyzed ?(config = default_config) ?(registry = Subql_obs.Metrics.defa
   let ctx = make_ctx ~config catalog in
   let result, free, node = run_eager ctx hooks alg in
   free ();
-  publish_run ctx.acct;
+  publish_run ctx;
   (result, node)
 
 let eval_traced ?config catalog alg =

@@ -106,6 +106,37 @@ let choose ?(config = Eval.default_config) catalog query =
     best
   | [] -> assert false (* the GMDJ plan is always present *)
 
+(* --- Parallel / spill configuration --------------------------------- *)
+
+(* Below this much estimated work (tuple-operation units) an exchange is
+   all overhead: spawning domains and shipping chunks costs more than
+   the plan itself. *)
+let min_parallel_work = 16_384.
+
+let parallel_config ?domains ?mem_budget_rows stats config plan =
+  let requested =
+    match domains with
+    | Some d -> d
+    | None -> min (Domain.recommended_domain_count ()) 4
+  in
+  if requested <= 0 then invalid_arg "Planner.parallel_config: domains must be positive";
+  let work = (Cost.estimate stats ~config plan).Cost.cost in
+  let domains = if work < min_parallel_work then 1 else requested in
+  let spill_budget_rows =
+    match mem_budget_rows with
+    | Some b when b > 0 ->
+      (* Spill only when the in-memory plan would not fit: under the
+         budget the plain hash state is strictly cheaper. *)
+      if Cost.memory_height stats ~config plan > float_of_int b then Some b else None
+    | _ -> None
+  in
+  let open Subql_obs in
+  Metrics.set (Metrics.gauge Metrics.default "planner.domains") (float_of_int domains);
+  Metrics.set
+    (Metrics.gauge Metrics.default "planner.spill_budget_rows")
+    (match spill_budget_rows with Some b -> float_of_int b | None -> 0.);
+  { config with Eval.domains; spill_budget_rows }
+
 (* --- Estimated-vs-actual feedback ---------------------------------- *)
 
 type feedback = {

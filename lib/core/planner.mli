@@ -28,6 +28,24 @@ val choose :
   ?config:Eval.config -> Catalog.t -> Subql_nested.Nested_ast.query -> candidate
 (** The cheapest candidate. *)
 
+val parallel_config :
+  ?domains:int ->
+  ?mem_budget_rows:int ->
+  Cost.Stats.t ->
+  Eval.config ->
+  Algebra.t ->
+  Eval.config
+(** Pick the plan's execution mode at plan time: the degree of
+    parallelism from its estimated work — plans under a small-work
+    threshold stay serial, an exchange would be pure overhead —
+    capped at [domains] (default
+    [min (Domain.recommended_domain_count ()) 4]); and the spill point
+    from its {!Cost.memory_height} against [mem_budget_rows] — the
+    budget becomes [spill_budget_rows] only when the in-memory plan
+    would exceed it, so fitting plans keep their plain hash state.
+    Publishes ["planner.domains"] and ["planner.spill_budget_rows"]
+    gauges.  @raise Invalid_argument if [domains <= 0]. *)
+
 type feedback = {
   candidate : candidate;  (** the plan that ran *)
   actual_rows : int;

@@ -15,34 +15,45 @@ type frame = {
   mutable f_children : span list;  (* reversed *)
 }
 
-let on = ref false
+(* All span state is domain-local (one independent trace machine per
+   domain), so exchange workers can open spans on their own domains
+   without racing the coordinator.  Workers hand their completed spans
+   back through {!drain_local}; the coordinator attaches them under its
+   open span with {!absorb}. *)
+type state = {
+  mutable on : bool;
+  mutable stack : frame list;
+  mutable finished : span list;  (* reversed *)
+}
 
-let stack : frame list ref = ref []
+let state_key =
+  Domain.DLS.new_key (fun () -> { on = false; stack = []; finished = [] })
 
-let finished : span list ref = ref []  (* reversed *)
+let state () = Domain.DLS.get state_key
 
-let set_enabled b = on := b
+let set_enabled b = (state ()).on <- b
 
-let enabled () = !on
+let enabled () = (state ()).on
 
 let now_us () = Unix.gettimeofday () *. 1e6
 
-let push_completed span =
-  match !stack with
+let push_completed st span =
+  match st.stack with
   | parent :: _ -> parent.f_children <- span :: parent.f_children
-  | [] -> finished := span :: !finished
+  | [] -> st.finished <- span :: st.finished
 
 let with_ ?(attrs = []) name f =
-  if not !on then f ()
+  let st = state () in
+  if not st.on then f ()
   else begin
     let frame =
       { f_name = name; f_attrs = List.rev attrs; f_start_us = now_us (); f_children = [] }
     in
-    stack := frame :: !stack;
+    st.stack <- frame :: st.stack;
     Fun.protect
       ~finally:(fun () ->
-        (match !stack with top :: rest when top == frame -> stack := rest | _ -> ());
-        push_completed
+        (match st.stack with top :: rest when top == frame -> st.stack <- rest | _ -> ());
+        push_completed st
           {
             name = frame.f_name;
             attrs = List.rev frame.f_attrs;
@@ -54,14 +65,25 @@ let with_ ?(attrs = []) name f =
   end
 
 let add_attr key value =
-  if !on then
-    match !stack with
+  let st = state () in
+  if st.on then
+    match st.stack with
     | frame :: _ -> frame.f_attrs <- (key, value) :: frame.f_attrs
     | [] -> ()
 
-let roots () = List.rev !finished
+let roots () = List.rev (state ()).finished
 
-let clear () = finished := []
+let clear () = (state ()).finished <- []
+
+let drain_local () =
+  let st = state () in
+  let spans = List.rev st.finished in
+  st.finished <- [];
+  spans
+
+let absorb spans =
+  let st = state () in
+  List.iter (push_completed st) spans
 
 let to_chrome_json () =
   let events = ref [] in

@@ -5,10 +5,17 @@
     default and {!with_} is then a direct tail call of the thunk, so
     leaving instrumentation in hot paths costs nearly nothing.
 
-    Completed root spans accumulate (single-domain, like {!Metrics})
-    until {!clear}; {!to_chrome_json} renders them in the Chrome
-    [chrome://tracing] / Perfetto array-of-events JSON format using
-    complete ("ph":"X") events with microsecond timestamps. *)
+    All trace state is {e domain-local} ([Domain.DLS]): every domain
+    runs its own independent span machine, so parallel exchange workers
+    can trace on their own domains without racing the coordinator.  A
+    worker enables tracing for itself, collects its completed spans with
+    {!drain_local}, and the coordinator attaches them under its open
+    span with {!absorb} when the workers join.
+
+    Completed root spans accumulate per domain until {!clear};
+    {!to_chrome_json} renders them in the Chrome [chrome://tracing] /
+    Perfetto array-of-events JSON format using complete ("ph":"X")
+    events with microsecond timestamps. *)
 
 type span = {
   name : string;
@@ -37,6 +44,16 @@ val roots : unit -> span list
 
 val clear : unit -> unit
 (** Drop completed spans (open spans are unaffected). *)
+
+val drain_local : unit -> span list
+(** Take (and clear) the calling domain's completed top-level spans,
+    oldest first — how an exchange worker hands its spans to the
+    coordinator at join time. *)
+
+val absorb : span list -> unit
+(** Attach already-completed spans (oldest first) as children of the
+    calling domain's innermost open span — or as top-level roots when no
+    span is open.  The coordinator side of {!drain_local}. *)
 
 val to_chrome_json : unit -> string
 (** The completed spans as a Chrome-tracing JSON array. *)

@@ -102,17 +102,36 @@ let project_cols_kernel schema cols =
   let out_schema = Schema.project schema idxs in
   (out_schema, map_kernel out_schema (fun row -> Tuple.project row idxs))
 
+(* Resumable distinct state: the seen-set behind DISTINCT, exposed so
+   the parallel executor can run one per domain and merge, and the spill
+   path can freeze it at a budget and route overflow rows to disk. *)
+module Distinct_acc = struct
+  type t = { seen : (int, Tuple.t) Hashtbl.t; order : Tuple.t Vec.t }
+
+  let create () = { seen = Hashtbl.create 64; order = Vec.create ~dummy:dummy_row () }
+
+  let mem t row = List.exists (Tuple.equal row) (Hashtbl.find_all t.seen (Tuple.hash row))
+
+  let add t row =
+    let h = Tuple.hash row in
+    if List.exists (Tuple.equal row) (Hashtbl.find_all t.seen h) then false
+    else begin
+      Hashtbl.add t.seen h row;
+      Vec.push t.order row;
+      true
+    end
+
+  let size t = Vec.length t.order
+
+  let merge ~into t = Vec.iter (fun row -> ignore (add into row)) t.order
+
+  let rows t = Vec.to_array t.order
+end
+
 let dedup_into iter_rows =
-  let seen = Hashtbl.create 64 in
-  let out = Vec.create ~dummy:dummy_row () in
-  iter_rows (fun row ->
-      let h = Tuple.hash row in
-      let bucket = Hashtbl.find_all seen h in
-      if not (List.exists (Tuple.equal row) bucket) then begin
-        Hashtbl.add seen h row;
-        Vec.push out row
-      end);
-  Vec.to_array out
+  let acc = Distinct_acc.create () in
+  iter_rows (fun row -> ignore (Distinct_acc.add acc row));
+  Distinct_acc.rows acc
 
 let dedup_rows rows = dedup_into (fun f -> Array.iter f rows)
 
@@ -267,41 +286,103 @@ end)
 let agg_schema frames aggs =
   List.map (fun spec -> Schema.attr spec.Aggregate.name (Aggregate.output_ty frames spec)) aggs
 
+(* Resumable grouping state: the hash table behind GROUP BY, exposed so
+   the parallel executor can run one per domain and merge accumulators
+   ({!Aggregate.merge} makes every SQL aggregate state mergeable), and
+   the spill path can freeze the group set at a budget and route rows of
+   unseen keys to disk. *)
+module Group_acc = struct
+  type t = {
+    key_idxs : int array;
+    out_schema : Schema.t;
+    compiled : Aggregate.compiled list;
+    groups : (Tuple.t * Aggregate.acc list) Group_table.t;
+    order : Tuple.t Vec.t;
+    ctx : Tuple.t array;
+  }
+
+  let create ~schema ~keys ~aggs =
+    let key_idxs =
+      Array.of_list (List.map (fun (rel_q, name) -> Schema.find schema ?rel:rel_q name) keys)
+    in
+    let key_schema = Schema.project schema key_idxs in
+    let frames = [| schema |] in
+    {
+      key_idxs;
+      out_schema = Schema.concat key_schema (Schema.of_list (agg_schema frames aggs));
+      compiled = List.map (Aggregate.compile frames) aggs;
+      groups = Group_table.create 64;
+      order = Vec.create ~dummy:dummy_row ();
+      ctx = [| Tuple.empty |];
+    }
+
+  let out_schema t = t.out_schema
+
+  let key_of t row = Tuple.project row t.key_idxs
+
+  let mem_key t key = Group_table.mem t.groups key
+
+  let size t = Vec.length t.order
+
+  let update t accs row =
+    t.ctx.(0) <- row;
+    List.iter (fun acc -> Aggregate.step acc t.ctx) accs
+
+  let step t row =
+    let key = key_of t row in
+    let accs =
+      match Group_table.find_opt t.groups key with
+      | Some (_, accs) -> accs
+      | None ->
+        let accs = List.map Aggregate.make t.compiled in
+        Group_table.add t.groups key (key, accs);
+        Vec.push t.order key;
+        accs
+    in
+    update t accs row
+
+  (* Update only an already-present group: [false] means the key is new
+     and the row was not consumed — the spill path's overflow test. *)
+  let step_existing t row =
+    match Group_table.find_opt t.groups (key_of t row) with
+    | Some (_, accs) ->
+      update t accs row;
+      true
+    | None -> false
+
+  (* Fold [t]'s groups into [into] (same schema/keys/aggs, e.g. built by
+     another exchange worker).  Accumulators of keys new to [into] are
+     adopted by reference, so [t] must not be stepped afterwards. *)
+  let merge ~into t =
+    Vec.iter
+      (fun key ->
+        let _, accs = Group_table.find t.groups key in
+        match Group_table.find_opt into.groups key with
+        | Some (_, into_accs) ->
+          List.iter2 (fun dst src -> Aggregate.merge ~into:dst src) into_accs accs
+        | None ->
+          Group_table.add into.groups key (key, accs);
+          Vec.push into.order key)
+      t.order
+
+  let result t =
+    let out = Vec.create ~dummy:dummy_row () in
+    Vec.iter
+      (fun key ->
+        let _, accs = Group_table.find t.groups key in
+        let agg_vals = Array.of_list (List.map Aggregate.value accs) in
+        Vec.push out (Tuple.concat key agg_vals))
+      t.order;
+    Relation.create ~check:false t.out_schema (Vec.to_array out)
+end
+
 (* Grouping and full aggregation are pipeline breakers, but they consume
    their input a row at a time: the streamed variants fold chunks into
    the group hash table without ever materializing the input. *)
 let group_by_core ~schema ~keys ~aggs iter_rows =
-  let key_idxs =
-    Array.of_list (List.map (fun (rel_q, name) -> Schema.find schema ?rel:rel_q name) keys)
-  in
-  let key_schema = Schema.project schema key_idxs in
-  let frames = [| schema |] in
-  let out_schema = Schema.concat key_schema (Schema.of_list (agg_schema frames aggs)) in
-  let compiled = List.map (Aggregate.compile frames) aggs in
-  let groups : (Tuple.t * Aggregate.acc list) Group_table.t = Group_table.create 64 in
-  let order = Vec.create ~dummy:dummy_row () in
-  let ctx = [| Tuple.empty |] in
-  iter_rows (fun row ->
-      let key = Tuple.project row key_idxs in
-      let accs =
-        match Group_table.find_opt groups key with
-        | Some (_, accs) -> accs
-        | None ->
-          let accs = List.map Aggregate.make compiled in
-          Group_table.add groups key (key, accs);
-          Vec.push order key;
-          accs
-      in
-      ctx.(0) <- row;
-      List.iter (fun acc -> Aggregate.step acc ctx) accs);
-  let out = Vec.create ~dummy:dummy_row () in
-  Vec.iter
-    (fun key ->
-      let _, accs = Group_table.find groups key in
-      let agg_vals = Array.of_list (List.map Aggregate.value accs) in
-      Vec.push out (Tuple.concat key agg_vals))
-    order;
-  Relation.create ~check:false out_schema (Vec.to_array out)
+  let acc = Group_acc.create ~schema ~keys ~aggs in
+  iter_rows (Group_acc.step acc);
+  Group_acc.result acc
 
 let group_by ~keys ~aggs rel =
   group_by_core ~schema:(Relation.schema rel) ~keys ~aggs (fun f -> Relation.iter f rel)

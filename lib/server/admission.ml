@@ -13,14 +13,18 @@ let code_queue_full = "ADM002"
 let code_shutdown = "ADM003"
 
 let check_budget policy ~stats ~config ~label plan =
-  let height = Subql.Cost.memory_height stats ~config plan in
+  (* Spill-aware: rows the executor would push through temp heap files
+     are disk, not resident memory — only the resident component is
+     gated.  With no spill budget configured this is exactly the old
+     [memory_height] gate. *)
+  let height, _spilled = Subql.Cost.memory_height_spill stats ~config plan in
   if height <= policy.mem_budget_rows then Ok height
   else
     Error
       {
         diag =
           Diag.makef ~subject:label Diag.Error ~code:code_over_budget
-            "plan's predicted peak of %.0f materialized rows exceeds the %.0f-row \
+            "plan's predicted peak of %.0f resident rows exceeds the %.0f-row \
              memory budget; not executed"
             height policy.mem_budget_rows;
         (* The budget is a property of the plan, not of the moment:

@@ -4,13 +4,16 @@
     Both gates are structural, so overload degrades to {e rejection},
     never to an OOM or a stall:
 
-    - {b memory budget} — the solo plan's predicted executor footprint
-      ({!Subql.Cost.memory_height}, in materialized rows) must fit the
-      per-query budget.  An over-budget plan is rejected with [ADM001]
-      and is never evaluated; the prediction is the planning-time
-      counterpart of the executor's measured
-      ["eval.peak_materialized_rows"], so the budget bounds what a
-      query {e would} pin, not what it already did.
+    - {b memory budget} — the solo plan's predicted {e resident}
+      footprint ({!Subql.Cost.memory_height_spill}, in materialized
+      rows) must fit the per-query budget.  Rows the configured spill
+      budget would push through temp heap files count as disk, not
+      resident memory — so a spilling plan over detail-sized input can
+      be admitted where its in-memory twin is rejected.  An over-budget
+      plan is rejected with [ADM001] and is never evaluated; the
+      prediction is the planning-time counterpart of the executor's
+      measured ["eval.peak_materialized_rows"], so the budget bounds
+      what a query {e would} pin, not what it already did.
     - {b queue depth} — the request queue is capped.  A submit against
       a full queue is shed with [ADM002] and a retry hint (one batch
       window from now at least one batch has left the queue).  Because

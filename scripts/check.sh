@@ -136,6 +136,69 @@ print("BENCH_exec.json: verified, peak %d rows (2x detail: %d), page reads %d ch
 PY
 
 echo
+echo "== bench smoke test: par target gates parallel-executor regressions =="
+# The par benchmark self-verifies (parallel and spilling results ==
+# serial in-memory results) and self-gates the 10x-detail memory bound.
+# On top of that: the 4-domain speedup must reach 2.5x — skipped, with a
+# note, when the machine has fewer than 4 cores (the JSON records the
+# core count; wall-clock scaling is physically impossible there) — and
+# the spill numbers may not regress against the committed baseline.
+dune exec bench/main.exe -- par > /dev/null
+python3 - <<'PY'
+import json, sys
+with open("BENCH_par.json") as f:
+    fresh = json.load(f)
+with open("bench/BENCH_par.baseline.json") as f:
+    base = json.load(f)
+if fresh["verified"] is not True:
+    sys.exit("FAIL: BENCH_par.json reports verified != true")
+if fresh["cores"] >= 4:
+    if fresh["speedup_4"] < 2.5:
+        sys.exit(f"FAIL: 4-domain speedup {fresh['speedup_4']:.2f}x < 2.5x "
+                 f"on a {fresh['cores']}-core machine")
+    print(f"speedup: {fresh['speedup_4']:.2f}x at 4 domains ({fresh['cores']} cores)")
+else:
+    print(f"speedup gate skipped: only {fresh['cores']} core(s) recommended, "
+          f"measured {fresh['speedup_4']:.2f}x at 4 domains")
+if fresh["spilled_rows_10x"] == 0:
+    sys.exit("FAIL: the 10x-detail run never spilled")
+if fresh["peak_rows_10x"] > fresh["peak_rows_1x"] * 1.2:
+    sys.exit(f"FAIL: spilling peak grew with the detail: "
+             f"{fresh['peak_rows_1x']} -> {fresh['peak_rows_10x']} rows")
+if fresh["peak_rows_10x"] > base["peak_rows_10x"] * 1.1:
+    sys.exit(f"FAIL: 10x-detail peak regressed >10% vs baseline: "
+             f"{base['peak_rows_10x']} -> {fresh['peak_rows_10x']} rows")
+print("BENCH_par.json: verified, 10x-detail peak %d rows (1x: %d), %d rows spilled"
+      % (fresh["peak_rows_10x"], fresh["peak_rows_1x"], fresh["spilled_rows_10x"]))
+PY
+
+echo
+echo "== CLI smoke test: run --domains routes through the exchange =="
+pout=$(dune exec bin/olap_cli.exe -- run --flows 30000 --users 300 --domains 4 \
+  --engine gmdj-opt --metrics --limit 1 \
+  "SELECT u.UserName FROM User u WHERE EXISTS (SELECT * FROM Flow f WHERE f.SourceIP = u.IPAddress)")
+echo "$pout" | grep -E "exec\.domains|exchange\."
+echo "$pout" | grep -Eq "exec.domains +4" || {
+  echo "FAIL: expected exec.domains = 4 in --metrics after run --domains 4" >&2
+  exit 1
+}
+echo "$pout" | grep -Eq "exchange.rows +[1-9][0-9]*" || {
+  echo "FAIL: expected exchange.rows > 0 — the run never went through the exchange" >&2
+  exit 1
+}
+
+echo
+echo "== CLI smoke test: run --spill-budget pushes breaker state to disk =="
+sout=$(dune exec bin/olap_cli.exe -- run --flows 20000 --users 300 --spill-budget 64 \
+  --engine unnest --metrics --limit 1 \
+  "SELECT u.UserName FROM User u WHERE EXISTS (SELECT * FROM Flow f WHERE f.SourceIP = u.IPAddress)")
+echo "$sout" | grep -E "exec\.spill"
+echo "$sout" | grep -Eq "exec.spilled_bytes +[1-9][0-9]*" || {
+  echo "FAIL: expected exec.spilled_bytes > 0 in --metrics after run --spill-budget" >&2
+  exit 1
+}
+
+echo
 echo "== bench smoke test: serve target gates serving-layer regressions =="
 # The serve benchmark self-verifies (warm server answers == solo
 # evaluation, steady-state detail scans per query < 1); on top of that,

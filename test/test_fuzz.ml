@@ -179,6 +179,37 @@ let engines_agree (query, db) =
      | exception Subql_unnest.Unnest.Not_applicable _ -> true)
   && check "planner" (Subql.Planner.run catalog query)
 
+(* Parallel execution and spilling are pure execution modes: for any
+   random query, database, degree of parallelism (1–4) and spill budget
+   (including forced 1-row budgets that push everything through temp
+   heap files), the answer is multiset-equal to the serial in-memory
+   evaluation. *)
+let gen_exec_mode =
+  let* domains = G.int_range 1 4 in
+  let* budget = G.oneofl [ None; Some 1; Some 3; Some 16; Some 256 ] in
+  G.return (domains, budget)
+
+let gen_parallel_case = G.triple gen_query Query_zoo.db_gen gen_exec_mode
+
+let parallel_spill_agree (query, db, (domains, spill_budget_rows)) =
+  let catalog = Query_zoo.mk_catalog db in
+  let config = { Subql.Eval.default_config with Subql.Eval.domains; spill_budget_rows } in
+  let check name plan =
+    let reference = Subql.Eval.eval catalog plan in
+    if Relation.equal_as_multiset reference (Subql.Eval.eval ~config catalog plan) then
+      true
+    else begin
+      Format.eprintf
+        "@.parallel/spill disagreement (%s, %d domains, budget %s) on:@.%a@." name
+        domains
+        (match spill_budget_rows with Some b -> string_of_int b | None -> "none")
+        N.pp_query query;
+      false
+    end
+  in
+  check "gmdj-opt" (Subql.Optimize.optimize (Subql.Transform.to_algebra query))
+  && check "unnest-joins" (Subql_unnest.Unnest.via_joins catalog query)
+
 (* Render-parse round trip: the SQL renderer must produce text the
    parser accepts, with identical semantics. *)
 let roundtrip (query, db) =
@@ -504,6 +535,8 @@ let () =
       ( "random-queries",
         [
           Helpers.qtest ~count:400 "all engines agree" gen_case engines_agree;
+          Helpers.qtest ~count:150 "parallel/spill modes agree with serial"
+            gen_parallel_case parallel_spill_agree;
           Helpers.qtest ~count:400 "sql render/parse round trip" gen_case roundtrip;
         ] );
       ( "maintenance",
