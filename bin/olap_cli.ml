@@ -391,7 +391,18 @@ let analyze_cmd =
     Arg.(value & flag & info [ "no-verify" ]
            ~doc:"Skip the rewrite verifier (typing and lints only).")
   in
-  let run data workload flows users scale seed zoo json no_verify sql =
+  let certify_arg =
+    Arg.(value & flag & info [ "certify" ]
+           ~doc:"Run the certificate passes on top of analysis: sound cardinality \
+                 intervals and the certified memory bound, parallel-merge lawfulness \
+                 ($(b,PAR00x)), and delta-maintainability ($(b,ING00x)).")
+  in
+  let domains_arg =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"Certify templates across N worker domains (output is byte-stable \
+                 regardless of N).  Only meaningful with $(b,--certify).")
+  in
+  let run data workload flows users scale seed zoo json no_verify certify domains sql =
     let targets, catalog =
       match zoo, sql with
       | Some "all", _ ->
@@ -405,27 +416,46 @@ let analyze_cmd =
       | None, None -> failwith "pass a SQL query or --zoo NAME|all"
     in
     if not no_verify then Subql_analysis.Verify.install_optimizer_check catalog;
-    let reports =
+    let errors =
       Fun.protect
         ~finally:(fun () ->
           if not no_verify then Subql_analysis.Verify.clear_optimizer_check ())
         (fun () ->
-          List.map
-            (fun (label, query) ->
-              Subql_analysis.Analyze.analyze_query catalog ~label query)
-            targets)
-    in
-    if json then
-      print_endline
-        (Subql_obs.Json.to_string
-           (Subql_obs.Json.List
-              (List.map Subql_analysis.Analyze.report_to_json reports)))
-    else
-      List.iter
-        (fun r -> Format.printf "%a@." Subql_analysis.Analyze.pp_report r)
-        reports;
-    let errors =
-      List.fold_left (fun n r -> n + Subql_analysis.Analyze.errors r) 0 reports
+          if certify then begin
+            let certs, _combined =
+              Subql_analysis.Analyze.certify_all ~domains catalog targets
+            in
+            if json then
+              print_endline
+                (Subql_obs.Json.to_string
+                   (Subql_obs.Json.List
+                      (List.map Subql_analysis.Analyze.certified_to_json certs)))
+            else
+              List.iter
+                (fun c -> Format.printf "%a@." Subql_analysis.Analyze.pp_certified c)
+                certs;
+            List.fold_left
+              (fun n c -> n + Subql_analysis.Analyze.certified_errors c)
+              0 certs
+          end
+          else begin
+            let reports =
+              List.map
+                (fun (label, query) ->
+                  Subql_analysis.Analyze.analyze_query catalog ~label query)
+                targets
+            in
+            if json then
+              print_endline
+                (Subql_obs.Json.to_string
+                   (Subql_obs.Json.List
+                      (List.map Subql_analysis.Analyze.report_to_json reports)))
+            else
+              List.iter
+                (fun r -> Format.printf "%a@." Subql_analysis.Analyze.pp_report r)
+                reports;
+            List.fold_left (fun n r -> n + Subql_analysis.Analyze.errors r) 0 reports
+          end)
     in
     if errors > 0 then begin
       Format.eprintf "analyze: %d error-severity diagnostic(s)@." errors;
@@ -435,10 +465,11 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Static analysis of a query's plans: schema/type checking, nullability \
-             dataflow, rewrite verification, and lint rules")
+             dataflow, rewrite verification, lint rules, and (with $(b,--certify)) \
+             resource and soundness certificates")
     Term.(
       const run $ data_arg $ workload_arg $ flows_arg $ users_arg $ scale_arg $ seed_arg
-      $ zoo_arg $ json_arg $ no_verify_arg $ sql_opt_arg)
+      $ zoo_arg $ json_arg $ no_verify_arg $ certify_arg $ domains_arg $ sql_opt_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Serving loop                                                         *)

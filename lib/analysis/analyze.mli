@@ -35,6 +35,58 @@ val errors : report -> int
 
 val warnings : report -> int
 
+(** {1 Certification}
+
+    [certify] runs {!analyze_query} and then the three certificate
+    passes over the optimized plan: {!Interval.certify} (sound
+    cardinality intervals and the certified memory ceiling),
+    {!Mergeable.certify} (parallel-merge lawfulness, [PAR0xx]) and
+    {!Deltaable.analyze} (delta-maintainability, [ING00x]).  This is
+    the engine behind [analyze --certify] and the zoo gate in
+    [scripts/check.sh]. *)
+
+type certified = {
+  report : report;
+  certificate : Subql.Cost.certificate option;
+      (** [None] iff the report has no plan (fatal analysis error) *)
+  analysis : Diag.t list;  (** the IVL/PAR/ING diagnostics, sorted *)
+}
+
+val certify :
+  ?flags:Subql.Optimize.flags ->
+  ?config:Subql.Eval.config ->
+  Catalog.t ->
+  label:string ->
+  Subql_nested.Nested_ast.query ->
+  certified
+
+val certified_errors : certified -> int
+(** Error-severity diagnostics across the report and the certificate
+    passes — the CLI's exit-status count. *)
+
+val certify_all :
+  ?flags:Subql.Optimize.flags ->
+  ?config:Subql.Eval.config ->
+  ?domains:int ->
+  Catalog.t ->
+  (string * Subql_nested.Nested_ast.query) list ->
+  certified list * Diag.t list
+(** Certify a population of templates, fanned across [domains] worker
+    domains (default 1 = serial).  Returns the per-template results in
+    {e input} order plus the combined diagnostic stream, accumulated in
+    per-worker {!Diag.Scratch} buffers and merged through the total
+    diagnostic order — both are byte-stable regardless of worker
+    scheduling, so [--domains N] never changes the output. *)
+
+val certified_to_json : certified -> Subql_obs.Json.t
+(** {!report_to_json} extended with the certificate (bound, spill
+    bound, argmax operator, per-operator interval tree) and the
+    analysis diagnostics. *)
+
+val pp_certified : Format.formatter -> certified -> unit
+(** {!pp_report}, then the analysis diagnostics, then a certified-memory
+    summary line naming the argmax pipeline breaker. *)
+
 val report_to_json : report -> Subql_obs.Json.t
 (** Machine-readable form: label, counts, the diagnostic list (severity,
     code, path, subject, message), schema and nullability rendering. *)

@@ -1,0 +1,146 @@
+open Subql_relational
+open Subql
+
+type maintainable = {
+  md_node : Algebra.t;
+  base_plan : Algebra.t;
+  detail_plan : Algebra.t;
+  detail_table : string;
+  blocks : Subql_gmdj.Gmdj.block list;
+  delta_pipeline : Chunk.Source.t -> Chunk.Source.t;
+}
+
+type verdict = { maintainable : maintainable option; diags : Diag.t list }
+
+(* --- Plan walks ------------------------------------------------------- *)
+
+let plan_tables plan =
+  let tbls = ref [] in
+  let rec walk p =
+    (match p with
+    | Algebra.Table name -> if not (List.mem name !tbls) then tbls := name :: !tbls
+    | _ -> ());
+    List.iter walk (Eval.children p)
+  in
+  walk plan;
+  List.sort String.compare !tbls
+
+(* Every MD-family node with its plan path. *)
+let md_nodes plan =
+  let nodes = ref [] in
+  let rec walk rev_path p =
+    let rev_path = Algebra.node_label p :: rev_path in
+    (match p with
+    | Algebra.Md _ | Algebra.Md_completed _ -> nodes := (List.rev rev_path, p) :: !nodes
+    | _ -> ());
+    List.iter (walk rev_path) (Eval.children p)
+  in
+  walk [] plan;
+  List.rev !nodes
+
+(* --- The detail-side effect analysis ---------------------------------- *)
+
+(* A detail side folds append suffixes iff it is a {e row-local} pipeline
+   over exactly one base-table scan: each output row is a function of one
+   input row, so pipeline(prefix ++ delta) = pipeline(prefix) ++
+   pipeline(delta) and the appended suffix can be streamed through the
+   same operators into live accumulators.  Position-dependent operators
+   (Add_rownum) and stateful ones (DISTINCT, joins, nested GMDJs) break
+   that equation. *)
+let rec detail_chain ~path detail =
+  match detail with
+  | Algebra.Table d -> Ok (d, fun src -> src)
+  | Algebra.Rename (a, x) ->
+    Result.map
+      (fun (d, pipe) -> (d, fun src -> Ops.rename_source a (pipe src)))
+      (detail_chain ~path x)
+  | Algebra.Select (e, x) ->
+    Result.map
+      (fun (d, pipe) -> (d, fun src -> Ops.select_source e (pipe src)))
+      (detail_chain ~path x)
+  | Algebra.Project (ps, x) ->
+    Result.map
+      (fun (d, pipe) -> (d, fun src -> Ops.project_source ps (pipe src)))
+      (detail_chain ~path x)
+  | Algebra.Project_cols { distinct = false; cols; input } ->
+    Result.map
+      (fun (d, pipe) -> (d, fun src -> Ops.project_cols_source cols (pipe src)))
+      (detail_chain ~path input)
+  | Algebra.Project_rel (aliases, x) ->
+    Result.map
+      (fun (d, pipe) ->
+        ( d,
+          fun src ->
+            let src = pipe src in
+            let cols =
+              List.filter_map
+                (fun a ->
+                  if List.mem a.Schema.rel aliases then
+                    Some (Some a.Schema.rel, a.Schema.name)
+                  else None)
+                (Schema.to_list (Chunk.Source.schema src))
+            in
+            Ops.project_cols_source cols src ))
+      (detail_chain ~path x)
+  | Algebra.Add_rownum (name, _) ->
+    Error
+      (Diag.makef ~path ~subject:name Diag.Info ~code:"ING003"
+         "detail side assigns row numbers (%s): position-dependent output blocks suffix \
+          folding"
+         name)
+  | _ ->
+    Error
+      (Diag.makef ~path ~subject:(Algebra.node_label detail) Diag.Info ~code:"ING003"
+         "detail side contains a non-row-local operator (%s): appended rows cannot be \
+          folded as a suffix"
+         (Eval.node_label detail))
+
+let not_maintainable diags = { maintainable = None; diags = Diag.sort diags }
+
+let analyze plan =
+  match md_nodes plan with
+  | [] ->
+    not_maintainable
+      [
+        Diag.info ~code:"ING001"
+          "plan has no GMDJ node: nothing to maintain incrementally, appends force a \
+           recompute";
+      ]
+  | _ :: _ :: _ as nodes ->
+    not_maintainable
+      [
+        Diag.makef
+          ~path:(fst (List.hd nodes))
+          Diag.Info ~code:"ING001"
+          "plan holds %d GMDJ nodes: maintaining one in place would stale the others, \
+           appends force a recompute"
+          (List.length nodes);
+      ]
+  | [ (path, Algebra.Md_completed _) ] ->
+    not_maintainable
+      [
+        Diag.make ~path Diag.Info ~code:"ING002"
+          "completion prunes base rows during the scan: pruned accumulators cannot \
+           absorb later deltas, so the completed form is not suffix-foldable";
+      ]
+  | [ (path, (Algebra.Md { base; detail; blocks } as md_node)) ] -> (
+    match detail_chain ~path:(path @ [ "detail" ]) detail with
+    | Error d -> not_maintainable [ d ]
+    | Ok (detail_table, delta_pipeline) ->
+      if List.mem detail_table (plan_tables base) then
+        not_maintainable
+          [
+            Diag.makef ~path:(path @ [ "base" ]) ~subject:detail_table Diag.Info
+              ~code:"ING001"
+              "detail table %s also feeds the base side: an append changes the \
+               accumulator matrix itself, not just the folded suffix"
+              detail_table;
+          ]
+      else
+        {
+          maintainable =
+            Some { md_node; base_plan = base; detail_plan = detail; detail_table; blocks;
+                   delta_pipeline };
+          diags = [];
+        })
+  | [ (_, _) ] -> assert false

@@ -1,0 +1,38 @@
+(** Certification wrapper over {!Subql.Cost}'s interval analysis (the
+    [IVL00x] namespace).
+
+    {!Subql.Cost.intervals} and {!Subql.Cost.memory_height_certified}
+    carry the mathematics — sound per-operator cardinality intervals
+    and the resident-set ceiling they imply.  This module turns that
+    into an analysis artifact: a {!certified} record pairing the
+    certificate with diagnostics ([IVL001] warning when the bound is
+    infinite, naming the statistics-less tables responsible), and the
+    JSON rendering [analyze --certify --json] and the [check.sh] gate
+    consume. *)
+
+open Subql_relational
+open Subql
+
+type certified = {
+  certificate : Cost.certificate;
+  diags : Diag.t list;
+      (** Empty iff the bound is finite; otherwise one [IVL001] warning
+          per statistics-less table (or a single generic one when every
+          scan is covered but an operator still diverges). *)
+}
+
+val certify : ?config:Eval.config -> Cost.Stats.t -> Algebra.t -> certified
+(** Certify the plan's memory ceiling under [config] (default
+    {!Eval.default_config}; the config's spill budget determines the
+    certified spill volume). *)
+
+val unknown_tables : Cost.Stats.t -> Algebra.t -> string list
+(** The plan's scanned tables with no row-count statistics — the scans
+    whose intervals start at top. *)
+
+val certificate_to_json : Cost.certificate -> Subql_obs.Json.t
+(** Bound, spill bound, argmax operator, and the full per-operator
+    interval tree.  Infinite bounds serialize as the string ["inf"]
+    (JSON has no infinity). *)
+
+val tree_to_json : Cost.Interval.tree -> Subql_obs.Json.t

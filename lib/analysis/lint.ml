@@ -18,7 +18,7 @@ let block_names acc (b : Subql_gmdj.Gmdj.block) =
       match spec.Aggregate.func with
       | Aggregate.Count_star -> acc
       | Aggregate.Count e | Aggregate.Sum e | Aggregate.Min e
-      | Aggregate.Max e | Aggregate.Avg e ->
+      | Aggregate.Max e | Aggregate.Avg e | Aggregate.First e ->
         bare_names_of acc e)
     acc b.aggs
 
@@ -102,7 +102,7 @@ let plan_lints alg =
             match spec.Aggregate.func with
             | Aggregate.Count_star -> acc
             | Aggregate.Count e | Aggregate.Sum e | Aggregate.Min e
-            | Aggregate.Max e | Aggregate.Avg e ->
+            | Aggregate.Max e | Aggregate.Avg e | Aggregate.First e ->
               bare_names_of acc e)
           (List.map snd keys) aggs
       in
@@ -114,7 +114,7 @@ let plan_lints alg =
             match spec.Aggregate.func with
             | Aggregate.Count_star -> acc
             | Aggregate.Count e | Aggregate.Sum e | Aggregate.Min e
-            | Aggregate.Max e | Aggregate.Avg e ->
+            | Aggregate.Max e | Aggregate.Avg e | Aggregate.First e ->
               bare_names_of acc e)
           [] aggs
       in

@@ -1,0 +1,97 @@
+open Subql_relational
+open Subql
+
+type laws = { has_identity : bool; associative : bool; commutative : bool }
+
+(* Derived structurally from the accumulator semantics in [Aggregate]:
+   COUNT/SUM add, MIN/MAX take lattice meets/joins, AVG carries
+   (sum, count) — all commutative monoids.  FIRST keeps the earliest
+   non-NULL value: the fresh accumulator is an identity and
+   concatenation-order merging associates, but swapping the operands
+   swaps which partition "arrived first". *)
+let laws_of = function
+  | Aggregate.Count_star | Aggregate.Count _ | Aggregate.Sum _ | Aggregate.Min _
+  | Aggregate.Max _ | Aggregate.Avg _ ->
+    { has_identity = true; associative = true; commutative = true }
+  | Aggregate.First _ -> { has_identity = true; associative = true; commutative = false }
+
+let is_monoid l = l.has_identity && l.associative
+
+(* Where an aggregate's accumulators can meet a [Chunk.Exchange]:
+
+   - GMDJ blocks ([Md] / [Md_completed]): partitioned evaluation gives
+     every worker its own accumulator matrix and merges them in
+     scheduler order — the merge must be a {e commutative} monoid.
+   - [Group_by]: the exchange hash-partitions by group key, so a group
+     never splits across workers and no cross-worker merge happens; an
+     order-sensitive aggregate is lawful only because routing preserves
+     per-key arrival order (and spilling re-streams partition files in
+     append order) — worth a warning, not a refusal.
+   - [Aggregate_all]: evaluated serially on the coordinator today, but
+     a non-monoid state could never be split at all. *)
+let certify ?(laws_of = laws_of) plan =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let check_spec ~path ~merging (spec : Aggregate.spec) =
+    let l = laws_of spec.Aggregate.func in
+    let subject = Aggregate.func_to_string spec.Aggregate.func in
+    if not (is_monoid l) then
+      emit
+        (Diag.makef ~path ~subject Diag.Error ~code:"PAR002"
+           "aggregate %s (column %s) is not a monoid (identity %b, associative %b): its \
+            state cannot be split across domains at all"
+           subject spec.Aggregate.name l.has_identity l.associative)
+    else if not l.commutative then
+      if merging then
+        emit
+          (Diag.makef ~path ~subject Diag.Error ~code:"PAR001"
+             "aggregate %s (column %s) merges associatively but not commutatively: \
+              partitioned GMDJ evaluation merges per-domain accumulators in scheduler \
+              order and would be nondeterministic"
+             subject spec.Aggregate.name)
+      else
+        emit
+          (Diag.makef ~path ~subject Diag.Warning ~code:"PAR003"
+             "aggregate %s (column %s) is order-sensitive: lawful under a \
+              hash-partitioned exchange only because routing preserves per-key arrival \
+              order"
+             subject spec.Aggregate.name)
+  in
+  let check_blocks ~path blocks =
+    List.iter
+      (fun b -> List.iter (check_spec ~path ~merging:true) b.Subql_gmdj.Gmdj.aggs)
+      blocks
+  in
+  let rec walk rev_path alg =
+    let rev_path = Algebra.node_label alg :: rev_path in
+    let path = List.rev rev_path in
+    (match alg with
+    | Algebra.Md { blocks; _ } | Algebra.Md_completed { blocks; _ } ->
+      check_blocks ~path blocks
+    | Algebra.Group_by { aggs; _ } | Algebra.Aggregate_all (aggs, _) ->
+      List.iter (check_spec ~path ~merging:false) aggs
+    | _ -> ());
+    List.iteri
+      (fun i c ->
+        let slot =
+          match alg, i with
+          | (Algebra.Md _ | Algebra.Md_completed _), 0 -> [ "base" ]
+          | (Algebra.Md _ | Algebra.Md_completed _), _ -> [ "detail" ]
+          | ( ( Algebra.Product _ | Algebra.Join _ | Algebra.Union_all _
+              | Algebra.Diff_all _ ),
+              0 ) ->
+            [ "left" ]
+          | ( ( Algebra.Product _ | Algebra.Join _ | Algebra.Union_all _
+              | Algebra.Diff_all _ ),
+              _ ) ->
+            [ "right" ]
+          | _ -> []
+        in
+        walk (List.rev_append slot rev_path) c)
+      (Eval.children alg)
+  in
+  walk [] plan;
+  Diag.sort !diags
+
+let certified_for_parallel ?laws_of plan =
+  not (Diag.has_errors (certify ?laws_of plan))

@@ -1,0 +1,42 @@
+(** Parallel-merge lawfulness certificates (the [PAR0xx] namespace).
+
+    Exchange-parallel execution splits aggregate accumulators across
+    worker domains and merges them back in whatever order the scheduler
+    finishes — which is only sound when every aggregate's merge forms a
+    {e commutative monoid}.  This pass derives the algebraic laws
+    structurally per {!Subql_relational.Aggregate.func} and walks the
+    plan for positions where accumulators can meet a
+    [Chunk.Exchange]:
+
+    - [PAR001] (error): a GMDJ block aggregate whose merge is
+      associative but not commutative — partitioned evaluation would be
+      nondeterministic;
+    - [PAR002] (error): an aggregate with no identity or a
+      non-associative merge — unsplittable state;
+    - [PAR003] (warning): an order-sensitive aggregate under a
+      hash-partitioned [Group_by] — lawful today only because routing
+      preserves per-key arrival order.
+
+    {!Subql.Planner.set_merge_certifier} consumes {!certify} (wired by
+    {!Verify.install_planner_gate}) so [parallel_config] refuses
+    [domains > 1] for uncertified plans instead of computing a wrong
+    merge. *)
+
+type laws = { has_identity : bool; associative : bool; commutative : bool }
+
+val laws_of : Subql_relational.Aggregate.func -> laws
+(** The algebraic laws of the aggregate's accumulator merge, derived
+    structurally: every standard SQL aggregate here is a commutative
+    monoid; [First] is a non-commutative monoid. *)
+
+val certify :
+  ?laws_of:(Subql_relational.Aggregate.func -> laws) ->
+  Subql.Algebra.t ->
+  Subql_relational.Diag.t list
+(** All [PAR0xx] diagnostics for the plan, sorted.  [laws_of] is
+    injectable for testing hypothetical aggregates. *)
+
+val certified_for_parallel :
+  ?laws_of:(Subql_relational.Aggregate.func -> laws) -> Subql.Algebra.t -> bool
+(** [true] iff {!certify} reports no error — the plan may run with
+    [domains > 1]. *)

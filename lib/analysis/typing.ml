@@ -110,7 +110,7 @@ let agg_arg (spec : Aggregate.spec) =
   match spec.func with
   | Aggregate.Count_star -> None
   | Aggregate.Count e | Aggregate.Sum e | Aggregate.Min e | Aggregate.Max e
-  | Aggregate.Avg e ->
+  | Aggregate.Avg e | Aggregate.First e ->
     Some e
 
 (* COUNT is total (empty range ⇒ 0); the others yield NULL on an empty
@@ -120,7 +120,8 @@ let agg_arg (spec : Aggregate.spec) =
 let agg_nulls ~nonempty_groups frames (spec : Aggregate.spec) =
   match spec.func with
   | Aggregate.Count_star | Aggregate.Count _ -> Nullability.Non_null
-  | Aggregate.Sum e | Aggregate.Min e | Aggregate.Max e | Aggregate.Avg e ->
+  | Aggregate.Sum e | Aggregate.Min e | Aggregate.Max e | Aggregate.Avg e
+  | Aggregate.First e ->
     if nonempty_groups && expr_nulls frames e = Nullability.Non_null then
       Nullability.Non_null
     else Nullability.Maybe_null

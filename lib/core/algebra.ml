@@ -170,10 +170,12 @@ let equal_blocks b1 b2 =
                 | Aggregate.Sum e1, Aggregate.Sum e2
                 | Aggregate.Min e1, Aggregate.Min e2
                 | Aggregate.Max e1, Aggregate.Max e2
-                | Aggregate.Avg e1, Aggregate.Avg e2 ->
+                | Aggregate.Avg e1, Aggregate.Avg e2
+                | Aggregate.First e1, Aggregate.First e2 ->
                   Expr.equal e1 e2
                 | ( ( Aggregate.Count_star | Aggregate.Count _ | Aggregate.Sum _
-                    | Aggregate.Min _ | Aggregate.Max _ | Aggregate.Avg _ ),
+                    | Aggregate.Min _ | Aggregate.Max _ | Aggregate.Avg _
+                    | Aggregate.First _ ),
                     _ ) ->
                   false)
               x.Gmdj.aggs y.Gmdj.aggs)

@@ -26,6 +26,9 @@ module Stats = struct
   let table_rows t name =
     match Hashtbl.find_opt t.tables name with Some (rows, _) -> rows | None -> 1000.0
 
+  let table_rows_opt t name =
+    match Hashtbl.find_opt t.tables name with Some (rows, _) -> Some rows | None -> None
+
   let column_distinct t ~table ~column =
     match Hashtbl.find_opt t.tables table with
     | None -> None
@@ -341,3 +344,314 @@ let memory_height_spill stats ~config alg =
     in
     let resident = h alg in
     (resident, !spilled)
+
+(* ------------------------------------------------------------------ *)
+(* Certified cardinality intervals (abstract interpretation)           *)
+(* ------------------------------------------------------------------ *)
+
+module Interval = struct
+  type t = { lo : float; hi : float }
+
+  let v lo hi =
+    let lo = Float.max 0.0 lo in
+    { lo; hi = Float.max lo hi }
+
+  let exact n = v n n
+
+  let top = { lo = 0.0; hi = Float.infinity }
+
+  let contains t n = n >= t.lo -. 1e-6 && n <= t.hi +. 1e-6
+
+  let is_finite t = t.hi < Float.infinity
+
+  let fmt_bound n =
+    if n = Float.infinity then "inf"
+    else if Float.is_integer n && Float.abs n < 1e15 then
+      Printf.sprintf "%.0f" n
+    else Printf.sprintf "%g" n
+
+  let to_string t = Printf.sprintf "[%s, %s]" (fmt_bound t.lo) (fmt_bound t.hi)
+
+  let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+  type tree = { op : string; path : string list; ival : t; children : tree list }
+end
+
+(* Per-operator cardinality intervals: unlike {!estimate}, which picks a
+   plausible point, these are {e sound} bounds — for any database
+   consistent with [stats] (exact row and distinct counts over the
+   current catalog), the operator's true output cardinality lies inside
+   its interval.  Selections therefore only widen the lower bound to 0
+   (never guess a selectivity), outer joins and GMDJ completion widen
+   conservatively, and the only narrowing below the input's upper bound
+   comes from distinct-count products, which are genuine upper bounds on
+   group/distinct counts.  Alias origins are threaded exactly as in
+   {!estimate} but dropped across computed projections ([Project],
+   [Add_rownum]) where a derived column could shadow a base column's
+   name: a distinct-count bound is only used where the column provably
+   carries base-table values. *)
+(* A conjunction of integer comparisons pinning one attribute to an
+   empty value range proves the selection dead — certified cardinality
+   exactly 0, a narrowing no selectivity heuristic can make soundly.
+   Only conjuncts of the shape [attr OP int-const] (either operand
+   order) participate; everything else is ignored, which can only
+   weaken the check, never unsoundly fire it. *)
+let unsatisfiable pred =
+  let rec conjuncts e acc =
+    match e with Expr.And (a, b) -> conjuncts a (conjuncts b acc) | e -> e :: acc
+  in
+  let bounds = Hashtbl.create 4 in
+  let tighten key lo hi =
+    let l0, h0 =
+      match Hashtbl.find_opt bounds key with
+      | Some b -> b
+      | None -> (Float.neg_infinity, Float.infinity)
+    in
+    Hashtbl.replace bounds key (Float.max l0 lo, Float.min h0 hi)
+  in
+  let note_cmp op key c =
+    let c = float_of_int c in
+    match op with
+    | Expr.Eq -> tighten key c c
+    | Expr.Lt -> tighten key Float.neg_infinity (c -. 1.0)
+    | Expr.Le -> tighten key Float.neg_infinity c
+    | Expr.Gt -> tighten key (c +. 1.0) Float.infinity
+    | Expr.Ge -> tighten key c Float.infinity
+    | Expr.Ne -> ()
+  in
+  let flip = function
+    | Expr.Lt -> Expr.Gt
+    | Expr.Le -> Expr.Ge
+    | Expr.Gt -> Expr.Lt
+    | Expr.Ge -> Expr.Le
+    | (Expr.Eq | Expr.Ne) as op -> op
+  in
+  List.iter
+    (function
+      | Expr.Cmp (op, Expr.Attr (rel, name), Expr.Const (Value.Int c)) ->
+        note_cmp op (rel, name) c
+      | Expr.Cmp (op, Expr.Const (Value.Int c), Expr.Attr (rel, name)) ->
+        note_cmp (flip op) (rel, name) c
+      | _ -> ())
+    (conjuncts pred []);
+  Hashtbl.fold (fun _ (lo, hi) acc -> acc || lo > hi) bounds false
+
+let intervals stats alg =
+  let open Interval in
+  let is_true = function Expr.Const (Value.Bool true) -> true | _ -> false in
+  let is_false = function Expr.Const (Value.Bool false) -> true | _ -> false in
+  let ndv_product origins cols =
+    let ndvs =
+      List.map
+        (fun (rel, name) ->
+          match rel with
+          | Some alias -> ndv_of stats origins (Expr.Attr (Some alias, name))
+          | None -> None)
+        cols
+    in
+    if List.exists Option.is_none ndvs then None
+    else Some (List.fold_left (fun acc n -> acc *. Option.get n) 1.0 ndvs)
+  in
+  let rec go rev_path alg =
+    let rev_path = Algebra.node_label alg :: rev_path in
+    let path = List.rev rev_path in
+    let sub slot x = go (match slot with "" -> rev_path | s -> s :: rev_path) x in
+    let node ival children origins =
+      ({ op = Eval.node_label alg; path; ival; children }, origins)
+    in
+    match alg with
+    | Algebra.Table name -> (
+      match Stats.table_rows_opt stats name with
+      | Some rows -> node (exact rows) [] [ (name, name) ]
+      | None -> node top [] [])
+    | Algebra.Rename (alias, x) ->
+      let t, _ = sub "" x in
+      let origins = match x with Algebra.Table tbl -> [ (alias, tbl) ] | _ -> [] in
+      node t.ival [ t ] origins
+    | Algebra.Select (e, x) ->
+      let t, origins = sub "" x in
+      let ival =
+        if is_false e || unsatisfiable e then exact 0.0
+        else if is_true e then t.ival
+        else v 0.0 t.ival.hi
+      in
+      node ival [ t ] origins
+    | Algebra.Project (_, x) | Algebra.Add_rownum (_, x) ->
+      (* Output columns may be computed: keep the cardinality, drop the
+         origins so downstream distinct-count lookups cannot alias a
+         derived column to a base column. *)
+      let t, _ = sub "" x in
+      node t.ival [ t ] []
+    | Algebra.Project_rel (_, x) ->
+      let t, origins = sub "" x in
+      node t.ival [ t ] origins
+    | Algebra.Project_cols { distinct; input; cols } ->
+      let t, origins = sub "" input in
+      if not distinct then node t.ival [ t ] origins
+      else
+        let lo = if t.ival.lo > 0.0 then 1.0 else 0.0 in
+        let hi =
+          match ndv_product origins cols with
+          | Some p -> Float.min t.ival.hi p
+          | None -> t.ival.hi
+        in
+        node (v lo hi) [ t ] origins
+    | Algebra.Distinct x ->
+      let t, origins = sub "" x in
+      let lo = if t.ival.lo > 0.0 then 1.0 else 0.0 in
+      node (v lo t.ival.hi) [ t ] origins
+    | Algebra.Product (l, r) ->
+      let lt, lo_ = sub "left" l and rt, ro = sub "right" r in
+      node (v (lt.ival.lo *. rt.ival.lo) (lt.ival.hi *. rt.ival.hi)) [ lt; rt ] (lo_ @ ro)
+    | Algebra.Join { kind; cond; left; right } ->
+      let lt, lo_ = sub "left" left and rt, ro = sub "right" right in
+      let origins = lo_ @ ro in
+      let li = lt.ival and ri = rt.ival in
+      let ival =
+        match kind with
+        | Algebra.Inner ->
+          let lo = if is_true cond then li.lo *. ri.lo else 0.0 in
+          v lo (li.hi *. ri.hi)
+        | Algebra.Left_outer ->
+          (* Every left row appears at least once; at most once per
+             matching right row. *)
+          v li.lo (li.hi *. Float.max 1.0 ri.hi)
+        | Algebra.Semi ->
+          let lo = if is_true cond && ri.lo > 0.0 then li.lo else 0.0 in
+          v lo li.hi
+        | Algebra.Anti ->
+          let lo = if ri.hi = 0.0 then li.lo else 0.0 in
+          v lo li.hi
+      in
+      node ival [ lt; rt ] origins
+    | Algebra.Group_by { keys; input; _ } ->
+      let t, origins = sub "" input in
+      let lo = if t.ival.lo > 0.0 then 1.0 else 0.0 in
+      let hi =
+        match ndv_product origins keys with
+        | Some p -> Float.min t.ival.hi p
+        | None -> t.ival.hi
+      in
+      node (v lo hi) [ t ] origins
+    | Algebra.Aggregate_all (_, x) ->
+      let t, _ = sub "" x in
+      node (exact 1.0) [ t ] []
+    | Algebra.Md { base; detail; _ } ->
+      (* A GMDJ emits exactly one output row per base row (Thm 4.1). *)
+      let bt, bo = sub "base" base and dt, _ = sub "detail" detail in
+      node bt.ival [ bt; dt ] bo
+    | Algebra.Md_completed { base; detail; completion; _ } ->
+      (* Completion may kill base rows; without kill/require rules every
+         base row survives. *)
+      let bt, bo = sub "base" base and dt, _ = sub "detail" detail in
+      let lo =
+        if completion.Gmdj.kill_when = [] && completion.Gmdj.require_fired = [] then
+          bt.ival.lo
+        else 0.0
+      in
+      node (v lo bt.ival.hi) [ bt; dt ] bo
+    | Algebra.Union_all (l, r) ->
+      let lt, _ = sub "left" l and rt, _ = sub "right" r in
+      node (v (lt.ival.lo +. rt.ival.lo) (lt.ival.hi +. rt.ival.hi)) [ lt; rt ] []
+    | Algebra.Diff_all (l, r) ->
+      let lt, _ = sub "left" l and rt, _ = sub "right" r in
+      node (v (Float.max 0.0 (lt.ival.lo -. rt.ival.hi)) lt.ival.hi) [ lt; rt ] []
+  in
+  fst (go [] alg)
+
+type certificate = {
+  bound : float;
+  spill_bound : float;
+  argmax_op : string;
+  argmax_path : string list;
+  argmax_rows : float;
+  tree : Interval.tree;
+}
+
+(* Certified memory height: the {!memory_height_spill} recursion run
+   over interval {e upper} bounds instead of point estimates, so the
+   result is a sound ceiling on the executor's peak resident rows
+   whenever the true per-operator cardinalities respect their intervals.
+   The argmax records which breaker holds the largest certified live set
+   — the operator an admission rejection should point at. *)
+let memory_height_certified stats ~config alg =
+  let tree = intervals stats alg in
+  let budget = Option.map float_of_int config.Eval.spill_budget_rows in
+  let spilled = ref 0.0 in
+  let cap r =
+    match budget with
+    | None -> r
+    | Some b ->
+      if r > b then begin
+        spilled := !spilled +. (r -. b);
+        b
+      end
+      else r
+  in
+  let best = ref (0.0, "<streaming>", ([] : string list)) in
+  let note v t =
+    let b, _, _ = !best in
+    if v > b then best := (v, t.Interval.op, t.Interval.path)
+  in
+  let hi (t : Interval.tree) = t.Interval.ival.Interval.hi in
+  let mat sub t =
+    match sub with
+    | Algebra.Table _ | Algebra.Rename (_, Algebra.Table _) -> 0.0
+    | _ -> hi t
+  in
+  let child1 t = match t.Interval.children with [ c ] -> c | _ -> assert false in
+  let child2 t =
+    match t.Interval.children with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  let rec h alg t =
+    match alg with
+    | Algebra.Table _ -> 0.0
+    | Algebra.Rename (_, x)
+    | Algebra.Select (_, x)
+    | Algebra.Project (_, x)
+    | Algebra.Project_rel (_, x)
+    | Algebra.Add_rownum (_, x) ->
+      h x (child1 t)
+    | Algebra.Project_cols { distinct; input; _ } ->
+      if distinct then begin
+        let live = cap (hi t) in
+        note live t;
+        Float.max (h input (child1 t)) live
+      end
+      else h input (child1 t)
+    | Algebra.Distinct x ->
+      let live = cap (hi t) in
+      note live t;
+      Float.max (h x (child1 t)) live
+    | Algebra.Group_by { input; _ } ->
+      let live = cap (hi t) in
+      note live t;
+      Float.max (h input (child1 t)) live
+    | Algebra.Aggregate_all (_, x) -> Float.max (h x (child1 t)) 1.0
+    | Algebra.Union_all (l, r) ->
+      let lt, rt = child2 t in
+      Float.max (h l lt) (h r rt)
+    | Algebra.Join { cond; left = l; right = r; _ }
+      when budget <> None && join_partitionable cond ->
+      let lt, rt = child2 t in
+      let ml = cap (mat l lt) and mr = cap (mat r rt) in
+      let live = ml +. mr +. hi t in
+      note live t;
+      Float.max (h l lt) (Float.max (ml +. h r rt) live)
+    | Algebra.Product (l, r) | Algebra.Join { left = l; right = r; _ } | Algebra.Diff_all (l, r)
+      ->
+      let lt, rt = child2 t in
+      let ml = mat l lt and mr = mat r rt in
+      let live = ml +. mr +. hi t in
+      note live t;
+      Float.max (h l lt) (Float.max (ml +. h r rt) live)
+    | Algebra.Md { base; detail; _ } | Algebra.Md_completed { base; detail; _ } ->
+      let bt, dt = child2 t in
+      let mb = mat base bt in
+      let live = mb +. hi t in
+      note live t;
+      Float.max (h base bt) (Float.max (mb +. h detail dt) live)
+  in
+  let bound = h alg tree in
+  let argmax_rows, argmax_op, argmax_path = !best in
+  { bound; spill_bound = !spilled; argmax_op; argmax_path; argmax_rows; tree }

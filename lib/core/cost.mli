@@ -24,6 +24,10 @@ module Stats : sig
   val table_rows : t -> string -> float
   (** Defaults to 1000.0 for unknown tables. *)
 
+  val table_rows_opt : t -> string -> float option
+  (** [None] for tables absent from the statistics — the sound
+      counterpart of {!table_rows}'s guess. *)
+
   val column_distinct : t -> table:string -> column:string -> float option
 end
 
@@ -60,3 +64,76 @@ val selectivity : Stats.t -> origins:(string * string) list -> Expr.t -> float
     1/ndv; other equalities are 0.1, ranges 0.33, conjunction
     multiplies, disjunction adds (capped), negation complements.
     Clamped to [\[1e-6, 1.0\]]. *)
+
+(** {1 Certified cardinality intervals}
+
+    Where {!estimate} picks a plausible point, the interval analysis
+    computes {e sound} per-operator [\[lo, hi\]] row bounds by abstract
+    interpretation over the plan: exact catalog cardinalities at the
+    leaves, selections widening only the lower bound (no guessed
+    selectivities) — except that a predicate whose integer comparisons
+    pin an attribute to an empty value range is {e proven} dead and
+    collapses to [\[0, 0\]] — outer joins and GMDJ completion widening
+    conservatively, and distinct-count products — genuine upper bounds
+    on group counts — providing the only other narrowing.  These bounds back
+    the admission controller's certified memory ceiling and the fuzz
+    containment property (observed rows ∈ certified interval, in every
+    execution mode). *)
+
+module Interval : sig
+  type t = { lo : float; hi : float }
+
+  val v : float -> float -> t
+  (** [v lo hi], clamped to [0 <= lo <= hi]. *)
+
+  val exact : float -> t
+
+  val top : t
+  (** [\[0, ∞)] — the no-information interval (unknown table). *)
+
+  val contains : t -> float -> bool
+  (** Membership with a small float tolerance. *)
+
+  val is_finite : t -> bool
+
+  val fmt_bound : float -> string
+  (** One bound: integral values exactly, ["inf"] for infinity. *)
+
+  val to_string : t -> string
+  (** [\[lo, hi\]] with integral bounds printed exactly, [inf] for the
+      unbounded top. *)
+
+  val pp : Format.formatter -> t -> unit
+
+  type tree = {
+    op : string;  (** display label, as in EXPLAIN ({!Eval.node_label}) *)
+    path : string list;  (** plan path from the root, [Typing]-style *)
+    ival : t;
+    children : tree list;  (** positionally aligned with {!Eval.children} *)
+  }
+end
+
+val intervals : Stats.t -> Algebra.t -> Interval.tree
+(** Sound per-operator cardinality intervals for the plan.  The tree
+    mirrors the plan shape ({!Eval.children} order), so it zips
+    positionally against {!Eval.eval_analyzed}'s measured
+    [Explain.node] tree. *)
+
+type certificate = {
+  bound : float;  (** certified peak resident rows (sound upper bound) *)
+  spill_bound : float;
+      (** certified rows pushed to temp heap files under the config's
+          spill budget; [0] with no budget *)
+  argmax_op : string;  (** breaker holding the largest certified live set *)
+  argmax_path : string list;
+  argmax_rows : float;  (** that breaker's certified live rows *)
+  tree : Interval.tree;  (** the per-operator intervals the bound came from *)
+}
+
+val memory_height_certified : Stats.t -> config:Eval.config -> Algebra.t -> certificate
+(** The {!memory_height_spill} recursion evaluated over interval upper
+    bounds instead of point estimates: a sound ceiling on peak resident
+    rows whenever true cardinalities respect their intervals.  Infinite
+    when the plan reads a table the statistics don't cover.  The argmax
+    names the pipeline breaker that dominates the bound — what an
+    [ADM001] rejection should point at. *)

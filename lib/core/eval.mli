@@ -36,6 +36,15 @@ type config = {
 val default_config : config
 (** Hash joins, hash GMDJ, serial ([domains = 1]), no spilling. *)
 
+val children : Algebra.t -> Algebra.t list
+(** Direct subplans, in evaluation order — the same order
+    {!eval_analyzed}'s [Explain.node] children follow, so analysis trees
+    built with this walk zip positionally against measured ones. *)
+
+val node_label : Algebra.t -> string
+(** Display label of the operator (with predicate/column detail), as it
+    appears in EXPLAIN output. *)
+
 val unindexed_config : config
 (** Nested-loop joins, scan GMDJ. *)
 

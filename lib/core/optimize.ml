@@ -71,7 +71,7 @@ let block_exprs b =
          match s.Aggregate.func with
          | Aggregate.Count_star -> None
          | Aggregate.Count e | Aggregate.Sum e | Aggregate.Min e | Aggregate.Max e
-         | Aggregate.Avg e ->
+         | Aggregate.Avg e | Aggregate.First e ->
            Some e)
        b.Gmdj.aggs
 
@@ -106,6 +106,7 @@ let requalify_blocks ~from_alias ~to_alias blocks =
                   | Aggregate.Min e -> Aggregate.Min (rw e)
                   | Aggregate.Max e -> Aggregate.Max (rw e)
                   | Aggregate.Avg e -> Aggregate.Avg (rw e)
+                  | Aggregate.First e -> Aggregate.First (rw e)
                 in
                 { s with Aggregate.func })
               b.Gmdj.aggs;
@@ -274,7 +275,7 @@ let count_thetas blocks =
           match s.Aggregate.func with
           | Aggregate.Count_star -> Some (s.Aggregate.name, b.Gmdj.theta)
           | Aggregate.Count _ | Aggregate.Sum _ | Aggregate.Min _ | Aggregate.Max _
-          | Aggregate.Avg _ ->
+          | Aggregate.Avg _ | Aggregate.First _ ->
             None)
         b.Gmdj.aggs)
     blocks

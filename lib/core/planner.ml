@@ -45,6 +45,33 @@ let set_self_check on = self_check := on
 
 let self_check_enabled () = !self_check
 
+(* --- Parallel-merge certification ------------------------------------ *)
+
+type merge_certifier = Algebra.t -> Diag.t list
+
+let merge_certifier : merge_certifier option ref = ref None
+
+let set_merge_certifier f = merge_certifier := Some f
+
+let clear_merge_certifier () = merge_certifier := None
+
+(* With a certifier installed, a plan may only fan out across domains
+   when every aggregate reachable under the exchange merges as a
+   commutative monoid.  An uncertified plan is not degraded silently:
+   the PAR diagnostic is raised so the caller sees exactly which
+   aggregate would merge wrongly. *)
+let certify_parallel plan =
+  match !merge_certifier with
+  | None -> ()
+  | Some certify -> (
+    match List.filter Diag.is_error (certify plan) with
+    | [] -> ()
+    | d :: _ ->
+      Subql_obs.Metrics.incr
+        (Subql_obs.Metrics.counter Subql_obs.Metrics.default
+           "planner.merge_certificate.rejected");
+      raise (Diag.Fail d))
+
 (* Drop candidates the verifier finds unsound.  Every candidate set
    contains the GMDJ reference translation, which is sound by
    construction, so an empty survivor set means the verifier itself
@@ -122,6 +149,7 @@ let parallel_config ?domains ?mem_budget_rows stats config plan =
   if requested <= 0 then invalid_arg "Planner.parallel_config: domains must be positive";
   let work = (Cost.estimate stats ~config plan).Cost.cost in
   let domains = if work < min_parallel_work then 1 else requested in
+  if domains > 1 then certify_parallel plan;
   let spill_budget_rows =
     match mem_budget_rows with
     | Some b when b > 0 ->

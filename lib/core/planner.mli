@@ -116,6 +116,23 @@ val set_plan_verifier : plan_verifier -> unit
 
 val clear_plan_verifier : unit -> unit
 
+type merge_certifier = Algebra.t -> Diag.t list
+(** A parallel-merge lawfulness check: return the PAR diagnostics for
+    aggregates in the plan whose accumulator merge is not a commutative
+    monoid (error severity means "unsafe under an exchange").
+    [Subql_analysis.Verify.install_planner_gate] registers
+    [Subql_analysis.Mergeable.certify_plan]. *)
+
+val set_merge_certifier : merge_certifier -> unit
+(** Install the certifier consulted by {!parallel_config}: when the
+    resolved degree of parallelism exceeds 1 and the certifier reports
+    an error, the configuration raises {!Diag.Fail} with that
+    diagnostic (counted in ["planner.merge_certificate.rejected"])
+    instead of silently computing a wrong merge.  Serial plans are never
+    refused. *)
+
+val clear_merge_certifier : unit -> unit
+
 val set_self_check : bool -> unit
 (** Enable/disable the planner self-check gate (off by default).  When
     on and a verifier is installed, {!candidates} drops every candidate

@@ -86,7 +86,11 @@ let decompose blocks =
                   ]
                 | Aggregate.Count_star | Aggregate.Count _ | Aggregate.Sum _
                 | Aggregate.Min _ | Aggregate.Max _ ->
-                  [ spec ])
+                  [ spec ]
+                | Aggregate.First _ ->
+                  (* No commutative partial state exists; the planner's
+                     merge certificate keeps FIRST off this path. *)
+                  invalid_arg "Distributed: FIRST has no mergeable partial state")
               b.Gmdj.aggs;
         })
       blocks
@@ -101,7 +105,9 @@ let decompose blocks =
             | Aggregate.Sum _ -> [ Ksum ]
             | Aggregate.Min _ -> [ Kmin ]
             | Aggregate.Max _ -> [ Kmax ]
-            | Aggregate.Avg _ -> [ Ksum; Kcount ])
+            | Aggregate.Avg _ -> [ Ksum; Kcount ]
+            | Aggregate.First _ ->
+              invalid_arg "Distributed: FIRST has no mergeable partial state")
           b.Gmdj.aggs)
       blocks
   in
@@ -169,7 +175,7 @@ let reconstruct ~base ~detail_schema ~blocks merged =
                   | v -> v)
                 | v -> v)
             | Aggregate.Count_star | Aggregate.Count _ | Aggregate.Sum _ | Aggregate.Min _
-            | Aggregate.Max _ ->
+            | Aggregate.Max _ | Aggregate.First _ ->
               let i = Schema.find merged_schema spec.Aggregate.name in
               fun row -> row.(i))
           b.Gmdj.aggs)

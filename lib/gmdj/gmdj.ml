@@ -857,7 +857,7 @@ module Maintain = struct
         List.exists
           (fun s ->
             match s.Aggregate.func with
-            | Aggregate.Min _ | Aggregate.Max _ -> true
+            | Aggregate.Min _ | Aggregate.Max _ | Aggregate.First _ -> true
             | Aggregate.Count_star | Aggregate.Count _ | Aggregate.Sum _ | Aggregate.Avg _
               ->
               false)

@@ -1,26 +1,28 @@
 open Subql_relational
 open Subql_gmdj
 open Subql_mqo
+open Subql_analysis
 
-(* A registered plan whose single GMDJ can be maintained incrementally:
-   the detail side is a plain base-table scan (possibly aliased) and the
-   base side does not read that table, so appending to the detail table
-   changes exactly the rows the accumulators must fold. *)
-type maintainable = {
-  md_node : Subql.Algebra.t;  (* the [Md] node, physically a subterm of the plan *)
-  base_plan : Subql.Algebra.t;
-  detail_table : string;
-  detail_alias : string option;
-  blocks : Gmdj.block list;
-}
+(* Delta-maintainability is decided by the static effect analysis
+   [Subql_analysis.Deltaable]: a plan qualifies when its single GMDJ's
+   detail side is a row-local operator chain over one base table the
+   base side does not read.  The analysis also compiles the proof into
+   a runnable [delta_pipeline] — the detail chain as a stream
+   transformer — which is what [sync] feeds each append suffix through.
+   The refused plans keep their ING diagnostics, so a caller can see
+   {e why} a view recomputes. *)
 
 type view = {
   fingerprint : string;
   plan : Subql.Algebra.t;
   deps : string list;  (* base tables the plan reads, sorted *)
-  maintainable : maintainable option;
+  maintainable : Deltaable.maintainable option;
+  why_not : Diag.t list;  (* ING diagnostics when not maintainable *)
   mutable state : Gmdj.Maintain.t option;
-  mutable maintained_rows : int;  (* detail rows folded into [state] *)
+  mutable maintained_rows : int;
+      (* raw detail-table rows folded into [state] — the [from_row]
+         offset for the next delta, counted {e before} the pipeline
+         (a selective pipeline folds fewer rows than it consumes) *)
   mutable synced : (string * int) list;  (* table -> epoch at last sync *)
 }
 
@@ -62,61 +64,6 @@ let create ?(config = Subql.Eval.default_config) ?(delta_row_cost = 4.)
   }
 
 (* ------------------------------------------------------------------ *)
-(* Plan analysis                                                        *)
-(* ------------------------------------------------------------------ *)
-
-let plan_tables plan =
-  let tbls = ref [] in
-  let rec walk p =
-    (match p with
-    | Subql.Algebra.Table name -> if not (List.mem name !tbls) then tbls := name :: !tbls
-    | _ -> ());
-    ignore
-      (Subql.Optimize.map_children
-         (fun c ->
-           walk c;
-           c)
-         p)
-  in
-  walk plan;
-  List.sort String.compare !tbls
-
-let md_nodes plan =
-  let nodes = ref [] in
-  let rec walk p =
-    (match p with
-    | Subql.Algebra.Md _ | Subql.Algebra.Md_completed _ -> nodes := p :: !nodes
-    | _ -> ());
-    ignore
-      (Subql.Optimize.map_children
-         (fun c ->
-           walk c;
-           c)
-         p)
-  in
-  walk plan;
-  !nodes
-
-(* Maintainable iff the plan holds exactly one MD-family node, it is a
-   plain [Md] (completion prunes rows, which retractions cannot restore),
-   its detail is a base-table scan, and the base side is independent of
-   that table. *)
-let analyze plan =
-  match md_nodes plan with
-  | [ (Subql.Algebra.Md { base; detail; blocks } as md_node) ] -> (
-    let detail_of = function
-      | Subql.Algebra.Table d -> Some (d, None)
-      | Subql.Algebra.Rename (a, Subql.Algebra.Table d) -> Some (d, Some a)
-      | _ -> None
-    in
-    match detail_of detail with
-    | Some (detail_table, detail_alias)
-      when not (List.mem detail_table (plan_tables base)) ->
-      Some { md_node; base_plan = base; detail_table; detail_alias; blocks }
-    | _ -> None)
-  | _ -> None
-
-(* ------------------------------------------------------------------ *)
 (* Registration                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -125,13 +72,15 @@ let snapshot_epochs (t : t) deps = List.map (fun d -> (d, Catalog.epoch t.catalo
 let register (t : t) ~fingerprint plan =
   if Hashtbl.mem t.views fingerprint then false
   else begin
-    let deps = plan_tables plan in
+    let deps = Deltaable.plan_tables plan in
+    let verdict = Deltaable.analyze plan in
     Hashtbl.replace t.views fingerprint
       {
         fingerprint;
         plan;
         deps;
-        maintainable = analyze plan;
+        maintainable = verdict.Deltaable.maintainable;
+        why_not = verdict.Deltaable.diags;
         state = None;
         maintained_rows = 0;
         synced = snapshot_epochs t deps;
@@ -144,9 +93,9 @@ let register_query t q =
   (* Register the completion-free optimized plan: completion fuses the
      enclosing selection into the MD node ([Md_completed]), which prunes
      base rows during the scan — pruned accumulators cannot absorb later
-     deltas.  Without the completion rewrite the plan keeps a plain [Md]
-     under the selection: same answer, delta-maintainable.  The
-     fingerprint is still the batch layer's, so repairs land on the
+     deltas ([ING002]).  Without the completion rewrite the plan keeps a
+     plain [Md] under the selection: same answer, delta-maintainable.
+     The fingerprint is still the batch layer's, so repairs land on the
      entry the cache serves. *)
   let plan =
     Subql.Optimize.optimize
@@ -162,33 +111,39 @@ let is_maintainable (t : t) ~fingerprint =
   | Some v -> Option.is_some v.maintainable
   | None -> false
 
+let why_not_maintainable (t : t) ~fingerprint =
+  match Hashtbl.find_opt t.views fingerprint with
+  | Some v -> v.why_not
+  | None -> []
+
 (* ------------------------------------------------------------------ *)
 (* Synchronisation                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let eval_via_state (t : t) v m state =
+let eval_via_state (t : t) v (m : Deltaable.maintainable) state =
   (* Splice the maintained accumulators into the registered plan: the
      override answers the [Md] subterm, the surrounding operators run
      normally over its (small) output. *)
   Subql.Eval.eval_with_overrides ~config:t.config
-    ~override:(fun node -> if node == m.md_node then Some (Gmdj.Maintain.result state) else None)
+    ~override:(fun node ->
+      if node == m.Deltaable.md_node then Some (Gmdj.Maintain.result state) else None)
     t.catalog v.plan
 
-let detail_relation (t : t) m =
-  let rel = Catalog.find t.catalog m.detail_table in
-  match m.detail_alias with None -> rel | Some a -> Relation.rename a rel
-
 (* Rebuild the maintained accumulators from scratch — one full detail
-   scan — and answer the plan through them, so the scan also serves the
-   recomputation. *)
-let rebuild (t : t) v m =
-  let base = Subql.Eval.eval ~config:t.config t.catalog m.base_plan in
-  let detail = detail_relation t m in
+   scan through the whole detail chain — and answer the plan through
+   them, so the scan also serves the recomputation. *)
+let rebuild (t : t) v (m : Deltaable.maintainable) =
+  let base = Subql.Eval.eval ~config:t.config t.catalog m.Deltaable.base_plan in
+  let detail = Subql.Eval.eval ~config:t.config t.catalog m.Deltaable.detail_plan in
   let state =
-    Gmdj.Maintain.create ~strategy:t.config.Subql.Eval.gmdj_strategy ~base ~detail m.blocks
+    Gmdj.Maintain.create ~strategy:t.config.Subql.Eval.gmdj_strategy ~base ~detail
+      m.Deltaable.blocks
   in
   v.state <- Some state;
-  v.maintained_rows <- Relation.cardinality detail;
+  (* The offset is counted in {e raw} table rows, not pipeline output
+     rows: the next delta replays the raw suffix from here. *)
+  v.maintained_rows <-
+    Relation.cardinality (Catalog.find t.catalog m.Deltaable.detail_table);
   eval_via_state t v m state
 
 (* Cost stats are only consulted to price delta folds against full MD
@@ -212,12 +167,14 @@ let stats (t : t) =
     t.stats_cache <- Some (s, total);
     s
 
-let decide_delta (t : t) ~stats v m ~delta_n =
+let decide_delta (t : t) ~stats v (m : Deltaable.maintainable) ~delta_n =
   (* Price the delta fold against recomputing just the MD node; the
      operators around it run in either path. *)
-  let n_blocks = float_of_int (List.length m.blocks) in
+  let n_blocks = float_of_int (List.length m.Deltaable.blocks) in
   let cost_delta = t.delta_row_cost *. float_of_int delta_n *. n_blocks in
-  let cost_full = (Subql.Cost.estimate stats ~config:t.config m.md_node).Subql.Cost.cost in
+  let cost_full =
+    (Subql.Cost.estimate stats ~config:t.config m.Deltaable.md_node).Subql.Cost.cost
+  in
   ignore v;
   cost_delta < cost_full
 
@@ -255,20 +212,29 @@ let sync (t : t) ~rows ~delta =
         else begin
           let via_delta =
             match (v.maintainable, v.state) with
-            | Some m, Some state when changed = [ m.detail_table ] -> (
-              match rows m.detail_table with
+            | Some m, Some state when changed = [ m.Deltaable.detail_table ] -> (
+              match rows m.Deltaable.detail_table with
               | Some total when total >= v.maintained_rows ->
                 let delta_n = total - v.maintained_rows in
                 if not (decide_delta t ~stats:(Lazy.force stats) v m ~delta_n) then None
                 else
                   Option.map
                     (fun src ->
-                      let folded = Gmdj.Maintain.insert_source state src in
-                      v.maintained_rows <- v.maintained_rows + folded;
+                      (* Count the raw suffix as it streams past, then
+                         fold it through the detail chain: the offset
+                         advances by rows {e consumed}, the accumulators
+                         by rows that {e survive} the pipeline. *)
+                      let raw = ref 0 in
+                      let src = Chunk.Source.tap (fun n -> raw := !raw + n) src in
+                      let folded =
+                        Gmdj.Maintain.insert_source state
+                          (m.Deltaable.delta_pipeline src)
+                      in
+                      v.maintained_rows <- v.maintained_rows + !raw;
                       delta_rows := !delta_rows + folded;
-                      avoided_rows := !avoided_rows + (total - folded);
+                      avoided_rows := !avoided_rows + (total - !raw);
                       eval_via_state t v m state)
-                    (delta ~table:m.detail_table ~from_row:v.maintained_rows)
+                    (delta ~table:m.Deltaable.detail_table ~from_row:v.maintained_rows)
               | _ -> None)
             | _ -> None
           in

@@ -9,9 +9,12 @@
       answer and only its epoch stamp is stale;
     - {b delta maintenance} — the only changed dependency is the plan's
       GMDJ detail table: the appended rows are streamed (never
-      materialized) through {!Subql_gmdj.Gmdj.Maintain.insert_source}
-      into live accumulators, and the plan re-answered by splicing the
-      maintained MD result in via [Eval.eval_with_overrides];
+      materialized) through the view's
+      {!Subql_analysis.Deltaable.maintainable.delta_pipeline} — the
+      detail side's row-local operator chain — into live accumulators
+      via {!Subql_gmdj.Gmdj.Maintain.insert_source}, and the plan
+      re-answered by splicing the maintained MD result in via
+      [Eval.eval_with_overrides];
     - {b full recompute} — everything else, with the rebuilt accumulator
       state serving the recomputation scan for maintainable plans.
 
@@ -59,9 +62,16 @@ val register_query : t -> Subql_nested.Nested_ast.query -> bool
 val registered : t -> int
 
 val is_maintainable : t -> fingerprint:string -> bool
-(** Whether the plan qualifies for delta maintenance: exactly one MD
-    node, plain [Md] (no completion), detail a base-table scan the base
-    side does not read. *)
+(** Whether {!Subql_analysis.Deltaable.analyze} certified the plan for
+    delta maintenance: exactly one MD node, plain [Md] (no completion),
+    and a detail side that is a row-local operator chain
+    ([Rename]/[Select]/[Project]/non-distinct
+    [Project_cols]/[Project_rel]) over one base table the base side
+    does not read. *)
+
+val why_not_maintainable : t -> fingerprint:string -> Diag.t list
+(** The [ING00x] diagnostics explaining why the plan recomputes on
+    append; empty when it is maintainable (or unknown). *)
 
 val sync :
   t ->

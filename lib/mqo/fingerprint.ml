@@ -96,6 +96,7 @@ let canon_spec rename (s : Aggregate.spec) =
     | Aggregate.Min e -> Aggregate.Min (go e)
     | Aggregate.Max e -> Aggregate.Max (go e)
     | Aggregate.Avg e -> Aggregate.Avg (go e)
+    | Aggregate.First e -> Aggregate.First (go e)
   in
   { s with Aggregate.func }
 

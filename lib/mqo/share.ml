@@ -69,6 +69,7 @@ let rw_func map = function
   | Aggregate.Min e -> Aggregate.Min (rw_expr map e)
   | Aggregate.Max e -> Aggregate.Max (rw_expr map e)
   | Aggregate.Avg e -> Aggregate.Avg (rw_expr map e)
+  | Aggregate.First e -> Aggregate.First (rw_expr map e)
 
 let rw_spec map s = { s with Aggregate.func = rw_func map s.Aggregate.func }
 

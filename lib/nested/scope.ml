@@ -26,7 +26,7 @@ and collect_sub local acc s =
       match func with
       | Aggregate.Count_star -> acc
       | Aggregate.Count e | Aggregate.Sum e | Aggregate.Min e | Aggregate.Max e
-      | Aggregate.Avg e ->
+      | Aggregate.Avg e | Aggregate.First e ->
         collect_expr (s.s_alias :: local) acc e)
     | Exists | Not_exists | Cmp_scalar _ | Quant _ | In_ _ | Not_in _ -> acc
   in

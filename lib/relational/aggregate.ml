@@ -5,6 +5,7 @@ type func =
   | Min of Expr.t
   | Max of Expr.t
   | Avg of Expr.t
+  | First of Expr.t
 
 type spec = { func : func; name : string }
 
@@ -20,15 +21,17 @@ let max_ e name = { func = Max e; name }
 
 let avg e name = { func = Avg e; name }
 
+let first e name = { func = First e; name }
+
 let arg = function
   | Count_star -> None
-  | Count e | Sum e | Min e | Max e | Avg e -> Some e
+  | Count e | Sum e | Min e | Max e | Avg e | First e -> Some e
 
 let output_ty frames spec =
   match spec.func with
   | Count_star | Count _ -> Value.Tint
   | Avg _ -> Value.Tfloat
-  | Sum e | Min e | Max e -> (
+  | Sum e | Min e | Max e | First e -> (
     match Expr.infer frames e with
     | Some ty -> ty
     | None -> Value.Tint (* aggregating a NULL literal; any type will do *))
@@ -40,10 +43,11 @@ let func_to_string = function
   | Min e -> Printf.sprintf "min(%s)" (Expr.to_string e)
   | Max e -> Printf.sprintf "max(%s)" (Expr.to_string e)
   | Avg e -> Printf.sprintf "avg(%s)" (Expr.to_string e)
+  | First e -> Printf.sprintf "first(%s)" (Expr.to_string e)
 
 let pp_spec ppf spec = Format.fprintf ppf "%s -> %s" (func_to_string spec.func) spec.name
 
-type kind = Kcount_star | Kcount | Ksum | Kmin | Kmax | Kavg
+type kind = Kcount_star | Kcount | Ksum | Kmin | Kmax | Kavg | Kfirst
 
 type compiled = { kind : kind; eval : (Tuple.t array -> Value.t) option }
 
@@ -63,6 +67,7 @@ let compile frames spec =
     | Min _ -> Kmin
     | Max _ -> Kmax
     | Avg _ -> Kavg
+    | First _ -> Kfirst
   in
   let eval = Option.map (Expr.compile_frames frames) (arg spec.func) in
   { kind; eval }
@@ -104,6 +109,12 @@ let step acc ctx =
       acc.fsum <- acc.fsum +. to_float v;
       acc.n <- acc.n + 1
     end
+  | Kfirst ->
+    let v = (Option.get acc.compiled.eval) ctx in
+    if not (Value.is_null v) then begin
+      if acc.n = 0 then acc.acc_v <- v;
+      acc.n <- acc.n + 1
+    end
 
 let step_back acc ctx =
   match acc.compiled.kind with
@@ -119,6 +130,7 @@ let step_back acc ctx =
     end
   | Kmin | Kmax ->
     invalid_arg "Aggregate.step_back: MIN/MAX cannot be retracted incrementally"
+  | Kfirst -> invalid_arg "Aggregate.step_back: FIRST is order-sensitive"
   | Kavg ->
     let v = (Option.get acc.compiled.eval) ctx in
     if not (Value.is_null v) then begin
@@ -140,11 +152,17 @@ let merge ~into other =
   | Kmax ->
     if other.n > 0 && (into.n = 0 || Value.compare other.acc_v into.acc_v > 0) then
       into.acc_v <- other.acc_v
-  | Kavg -> into.fsum <- into.fsum +. other.fsum);
+  | Kavg -> into.fsum <- into.fsum +. other.fsum
+  | Kfirst ->
+    (* Concatenation order: [into] precedes [other].  This is only a
+       lawful parallel merge when partitions arrive back in input order
+       — FIRST has an identity and is associative but not commutative,
+       which is exactly what [Mergeable] refuses to certify. *)
+    if into.n = 0 && other.n > 0 then into.acc_v <- other.acc_v);
   into.n <- into.n + other.n
 
 let value acc =
   match acc.compiled.kind with
   | Kcount_star | Kcount -> Value.Int acc.n
-  | Ksum | Kmin | Kmax -> if acc.n = 0 then Value.Null else acc.acc_v
+  | Ksum | Kmin | Kmax | Kfirst -> if acc.n = 0 then Value.Null else acc.acc_v
   | Kavg -> if acc.n = 0 then Value.Null else Value.Float (acc.fsum /. float_of_int acc.n)

@@ -3,7 +3,12 @@
     [Count_star] counts rows; [Count e] counts rows where [e] is not
     NULL; [Sum]/[Min]/[Max]/[Avg] ignore NULLs and yield NULL on an
     empty (or all-NULL) input — the behaviour the paper's ALL-vs-max
-    footnote hinges on. *)
+    footnote hinges on.  [First e] yields the first non-NULL value of
+    [e] in detail arrival order (NULL on an empty or all-NULL input):
+    its accumulator merge is associative and has an identity but is
+    {e not} commutative, so it is only safe single-domain — the
+    [Mergeable] certificate pass exists to keep it (and anything like
+    it) out of exchange-parallel plans. *)
 
 type func =
   | Count_star
@@ -12,6 +17,7 @@ type func =
   | Min of Expr.t
   | Max of Expr.t
   | Avg of Expr.t
+  | First of Expr.t
 
 type spec = { func : func; name : string }
 (** [name] is the output column name (the [f(y) → fy] renaming). *)
@@ -22,6 +28,7 @@ val sum : Expr.t -> string -> spec
 val min_ : Expr.t -> string -> spec
 val max_ : Expr.t -> string -> spec
 val avg : Expr.t -> string -> spec
+val first : Expr.t -> string -> spec
 
 val output_ty : Schema.t array -> spec -> Value.ty
 (** Result type of the aggregate over rows of the innermost frame. *)
@@ -51,15 +58,19 @@ val step_back : acc -> Tuple.t array -> unit
 (** Retract one previously-fed tuple stack — the inverse of {!step},
     used for incremental view maintenance under deletions.  COUNT, SUM
     and AVG are self-inverting (their state nullifies correctly when the
-    contribution count returns to zero); MIN and MAX are not
+    contribution count returns to zero); MIN, MAX and FIRST are not
     incrementally maintainable downward.
-    @raise Invalid_argument for MIN/MAX accumulators. *)
+    @raise Invalid_argument for MIN/MAX/FIRST accumulators. *)
 
 val merge : into:acc -> acc -> unit
-(** Fold the second accumulator into the first.  Both must stem from the
-    same [compiled] aggregate.  Every SQL aggregate state here is
-    mergeable (AVG carries sum and count separately), which is what
-    makes partitioned/distributed GMDJ evaluation possible.
+(** Fold the second accumulator into the first, with [into] taken as
+    the earlier partition.  Both must stem from the same [compiled]
+    aggregate.  Every standard SQL aggregate state here merges
+    commutatively (AVG carries sum and count separately), which is what
+    makes partitioned/distributed GMDJ evaluation possible; FIRST
+    merges associatively but {e not} commutatively, so it is lawful
+    only when partitions are recombined in input order — the
+    [Mergeable] analysis certifies exactly this distinction.
     @raise Invalid_argument on accumulators of different kinds. *)
 
 val value : acc -> Value.t

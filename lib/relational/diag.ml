@@ -37,9 +37,34 @@ let compare a b =
     if c <> 0 then c
     else
       let c = String.compare a.code b.code in
-      if c <> 0 then c else String.compare a.message b.message
+      if c <> 0 then c
+      else
+        let c = String.compare a.message b.message in
+        if c <> 0 then c
+        else Option.compare String.compare a.subject b.subject
 
 let sort diags = List.sort_uniq compare diags
+
+module Scratch = struct
+  type diag = t
+
+  type t = { mutable rev : diag list; mutable n : int }
+
+  let create () = { rev = []; n = 0 }
+
+  let add t d =
+    t.rev <- d :: t.rev;
+    t.n <- t.n + 1
+
+  let add_list t ds = List.iter (add t) ds
+
+  let length t = t.n
+
+  let to_list t = List.rev t.rev
+
+  let merge scratches =
+    sort (List.concat_map to_list (Array.to_list scratches))
+end
 
 let is_error d = d.severity = Error
 

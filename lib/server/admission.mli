@@ -5,15 +5,22 @@
     never to an OOM or a stall:
 
     - {b memory budget} — the solo plan's predicted {e resident}
-      footprint ({!Subql.Cost.memory_height_spill}, in materialized
-      rows) must fit the per-query budget.  Rows the configured spill
-      budget would push through temp heap files count as disk, not
-      resident memory — so a spilling plan over detail-sized input can
-      be admitted where its in-memory twin is rejected.  An over-budget
-      plan is rejected with [ADM001] and is never evaluated; the
-      prediction is the planning-time counterpart of the executor's
-      measured ["eval.peak_materialized_rows"], so the budget bounds
-      what a query {e would} pin, not what it already did.
+      footprint (in materialized rows) must fit the per-query budget.
+      The gate takes the {e smaller} of the point estimate
+      ({!Subql.Cost.memory_height_spill}) and the certified sound bound
+      ({!Subql.Cost.memory_height_certified}) when the latter is finite
+      — a proven-small certificate admits plans the point estimate
+      over-rejects, and an infinite certificate (statistics-less table)
+      degrades to the estimate alone, so certification only ever admits
+      more.  Rows the configured spill budget would push through temp
+      heap files count as disk, not resident memory — so a spilling plan
+      over detail-sized input can be admitted where its in-memory twin
+      is rejected.  An over-budget plan is rejected with [ADM001] —
+      reporting predicted rows, the certified bound, the budget, and
+      the certificate's argmax pipeline breaker — and is never
+      evaluated; the prediction is the planning-time counterpart of the
+      executor's measured ["eval.peak_materialized_rows"], so the budget
+      bounds what a query {e would} pin, not what it already did.
     - {b queue depth} — the request queue is capped.  A submit against
       a full queue is shed with [ADM002] and a retry hint (one batch
       window from now at least one batch has left the queue).  Because
@@ -60,8 +67,9 @@ val check_budget :
   label:string ->
   Subql.Algebra.t ->
   (float, rejection) result
-(** [Ok height] (the plan's predicted peak rows) when the plan fits,
-    the [ADM001] rejection otherwise. *)
+(** [Ok rows] (the effective gated footprint: min of the point estimate
+    and the finite certified bound) when the plan fits, the [ADM001]
+    rejection otherwise. *)
 
 val check_queue :
   policy -> depth:int -> retry_after:float -> label:string -> (unit, rejection) result

@@ -25,6 +25,7 @@ type token =
   | Min
   | Max
   | Avg
+  | First
   | Between
   | Group
   | Having
@@ -76,6 +77,7 @@ let keywords =
     ("min", Min);
     ("max", Max);
     ("avg", Avg);
+    ("first", First);
     ("between", Between);
     ("group", Group);
     ("having", Having);

@@ -31,6 +31,7 @@ type token =
   | Min
   | Max
   | Avg
+  | First
   | Between
   | Group
   | Having

@@ -168,6 +168,7 @@ let parse_agg_func st kw =
       | L.Min -> Aggregate.Min e
       | L.Max -> Aggregate.Max e
       | L.Avg -> Aggregate.Avg e
+      | L.First -> Aggregate.First e
       | _ -> assert false)
   in
   expect st L.Rparen;
@@ -192,7 +193,8 @@ let rec parse_subquery st =
       (* the SELECT 1 idiom for EXISTS *)
       advance st;
       Rstar
-    | (L.Count | L.Sum | L.Min | L.Max | L.Avg) as kw -> Ragg (parse_agg_func st kw)
+    | (L.Count | L.Sum | L.Min | L.Max | L.Avg | L.First) as kw ->
+      Ragg (parse_agg_func st kw)
     | L.Ident _ ->
       let rel, name = parse_column_ref st in
       Rcol (rel, name)
@@ -345,10 +347,11 @@ let func_equal a b =
   | Aggregate.Sum x, Aggregate.Sum y
   | Aggregate.Min x, Aggregate.Min y
   | Aggregate.Max x, Aggregate.Max y
-  | Aggregate.Avg x, Aggregate.Avg y ->
+  | Aggregate.Avg x, Aggregate.Avg y
+  | Aggregate.First x, Aggregate.First y ->
     Expr.equal x y
   | ( ( Aggregate.Count_star | Aggregate.Count _ | Aggregate.Sum _ | Aggregate.Min _
-      | Aggregate.Max _ | Aggregate.Avg _ ),
+      | Aggregate.Max _ | Aggregate.Avg _ | Aggregate.First _ ),
       _ ) ->
     false
 
@@ -408,7 +411,7 @@ and parse_h_unary st coll =
   | L.Minus ->
     advance st;
     Expr.Neg (parse_h_unary st coll)
-  | (L.Count | L.Sum | L.Min | L.Max | L.Avg) as kw ->
+  | (L.Count | L.Sum | L.Min | L.Max | L.Avg | L.First) as kw ->
     Expr.attr (register_agg coll (parse_agg_func st kw))
   | L.Lparen ->
     advance st;
@@ -671,6 +674,7 @@ let parse_statement st =
       | Aggregate.Min _ -> "min"
       | Aggregate.Max _ -> "max"
       | Aggregate.Avg _ -> "avg"
+      | Aggregate.First _ -> "first"
     in
     let out =
       List.map

@@ -48,6 +48,7 @@ let func_to_sql = function
   | Aggregate.Min e -> Printf.sprintf "MIN(%s)" (expr_to_sql e)
   | Aggregate.Max e -> Printf.sprintf "MAX(%s)" (expr_to_sql e)
   | Aggregate.Avg e -> Printf.sprintf "AVG(%s)" (expr_to_sql e)
+  | Aggregate.First e -> Printf.sprintf "FIRST(%s)" (expr_to_sql e)
 
 (* FROM items of a base: only tables, aliased tables, and products. *)
 let rec from_items = function

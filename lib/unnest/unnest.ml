@@ -37,7 +37,7 @@ let attach_aggregates g ~acc ~rid ~detail ~theta specs =
         match spec.Aggregate.func with
         | Aggregate.Count_star -> { spec with Aggregate.func = Aggregate.Count (Expr.attr mark) }
         | Aggregate.Count _ | Aggregate.Sum _ | Aggregate.Min _ | Aggregate.Max _
-        | Aggregate.Avg _ ->
+        | Aggregate.Avg _ | Aggregate.First _ ->
           spec)
       specs
   in

@@ -95,6 +95,50 @@ PY
 rm -f "$analyze_json"
 
 echo
+echo "== static analysis: --certify proves finite memory bounds for the zoo =="
+# The certificate passes (interval cardinality analysis, parallel-merge
+# lawfulness, delta-maintainability effects) must certify every zoo
+# template with zero error-severity diagnostics — analyze exits
+# non-zero otherwise — and every certified memory bound must be finite.
+certify_json=$(mktemp /tmp/check_certify_XXXXXX.json)
+dune exec bin/olap_cli.exe -- analyze --certify --zoo all --json > "$certify_json"
+CERTIFY_JSON="$certify_json" python3 - <<'PY'
+import json, os, sys
+with open(os.environ["CERTIFY_JSON"]) as f:
+    reports = json.load(f)
+if len(reports) < 20:
+    sys.exit(f"FAIL: expected a certificate per zoo template, got {len(reports)}")
+for r in reports:
+    if r["certified_errors"] != 0:
+        sys.exit(f"FAIL: template {r['label']!r} fails certification")
+    cert = r.get("certificate")
+    if not cert:
+        sys.exit(f"FAIL: template {r['label']!r} has no certificate")
+    if not isinstance(cert["bound"], (int, float)):
+        sys.exit(f"FAIL: template {r['label']!r} certified bound is not finite "
+                 f"({cert['bound']!r})")
+print(f"analyze --certify: {len(reports)} templates, all certified with "
+      f"finite bounds (max {max(c['certificate']['bound'] for c in reports):.0f} rows)")
+PY
+rm -f "$certify_json"
+
+echo
+echo "== static analysis: certified output is byte-stable under --domains =="
+# The per-worker Diag.Scratch buffers merge through the total order, so
+# the certified report may not depend on worker scheduling.
+c1=$(mktemp /tmp/check_certify1_XXXXXX.txt)
+c4=$(mktemp /tmp/check_certify4_XXXXXX.txt)
+dune exec bin/olap_cli.exe -- analyze --certify --zoo all --domains 1 > "$c1"
+dune exec bin/olap_cli.exe -- analyze --certify --zoo all --domains 4 > "$c4"
+cmp -s "$c1" "$c4" || {
+  echo "FAIL: analyze --certify output differs between --domains 1 and 4" >&2
+  diff "$c1" "$c4" | head -20 >&2
+  exit 1
+}
+rm -f "$c1" "$c4"
+echo "analyze --certify: --domains 1 and --domains 4 outputs identical"
+
+echo
 echo "== bench smoke test: mqo target keeps BENCH_mqo.json well-formed =="
 dune exec bench/main.exe -- mqo > /dev/null
 python3 - <<'PY'

@@ -327,6 +327,281 @@ let test_3vl_null_semantics () =
     (q (N.all_ (attr ~rel:"o" "x") Expr.Gt (N.table "I") "i" ~col:"y"))
     0
 
+(* --- Parallel-merge lawfulness (PAR) ---------------------------------- *)
+
+module M = Subql_analysis.Mergeable
+module D = Subql_analysis.Deltaable
+
+(* The seeded unlawful aggregate: FIRST merges associatively (earliest
+   non-NULL in concatenation order) but not commutatively. *)
+let first_md =
+  A.Md
+    {
+      base = o;
+      detail = i;
+      blocks =
+        [
+          Gmdj.block
+            [ Aggregate.count_star "cnt"; Aggregate.first (attr ~rel:"i" "y") "fst" ]
+            (Expr.eq (attr ~rel:"i" "k") (attr ~rel:"o" "k"));
+        ];
+    }
+
+let test_mergeable () =
+  (* law derivation *)
+  let l = M.laws_of (Aggregate.First (attr ~rel:"i" "y")) in
+  Alcotest.(check bool) "FIRST is a monoid" true (l.M.has_identity && l.M.associative);
+  Alcotest.(check bool) "FIRST is not commutative" false l.M.commutative;
+  Alcotest.(check bool) "SUM is lawful" true
+    (M.laws_of (Aggregate.Sum (attr ~rel:"i" "y"))).M.commutative;
+  (* standard aggregates certify clean *)
+  Alcotest.(check (list string)) "count/max MD certifies" [] (codes (M.certify count_md));
+  Alcotest.(check bool) "certified for parallel" true (M.certified_for_parallel count_md);
+  (* FIRST in a GMDJ block: cross-domain accumulator merge -> error *)
+  let diags = M.certify first_md in
+  Alcotest.(check (list string)) "PAR001 on FIRST in MD" [ "PAR001" ] (codes diags);
+  Alcotest.(check bool) "errors refuse parallelism" false
+    (M.certified_for_parallel first_md);
+  (* FIRST under hash-partitioned GROUP BY: warning, still certified *)
+  let gb =
+    A.Group_by
+      {
+        keys = [ (Some "i", "k") ];
+        aggs = [ Aggregate.first (attr ~rel:"i" "y") "fst" ];
+        input = i;
+      }
+  in
+  Alcotest.(check (list string)) "PAR003 under GROUP BY" [ "PAR003" ] (codes (M.certify gb));
+  Alcotest.(check bool) "warnings do not refuse" true (M.certified_for_parallel gb);
+  (* a hypothetical non-monoid state is refused everywhere *)
+  let broken _ = { M.has_identity = false; associative = false; commutative = false } in
+  Alcotest.(check bool) "PAR002 for non-monoid" true
+    (has "PAR002" (M.certify ~laws_of:broken gb))
+
+(* The planner consults the certificate before fanning out: an unlawful
+   plan raises PAR001 instead of computing a nondeterministic merge. *)
+let test_merge_gate () =
+  (* enough detail rows that the work estimate clears the planner's
+     serial cutoff and the certificate actually gets consulted *)
+  let zcat = Subql_workload.Zoo.catalog ~inner:20_000 () in
+  let stats = Subql.Cost.Stats.of_catalog zcat in
+  let config = Subql.Eval.default_config in
+  V.install_planner_gate ();
+  Fun.protect
+    ~finally:(fun () -> V.clear_planner_gate ())
+    (fun () ->
+      (* lawful plan: parallelizes *)
+      let cfg = Subql.Planner.parallel_config ~domains:4 stats config count_md in
+      Alcotest.(check bool) "lawful plan fans out" true (cfg.Subql.Eval.domains > 1);
+      (* unlawful plan: enough work to want domains, refused with PAR001 *)
+      let before =
+        Subql_obs.Metrics.counter_value_by_name Subql_obs.Metrics.default
+          "planner.merge_certificate.rejected"
+      in
+      (match Subql.Planner.parallel_config ~domains:4 stats config first_md with
+      | _ -> Alcotest.fail "expected Diag.Fail for the FIRST plan"
+      | exception Diag.Fail d ->
+        Alcotest.(check string) "PAR001 raised" "PAR001" d.Diag.code);
+      let after =
+        Subql_obs.Metrics.counter_value_by_name Subql_obs.Metrics.default
+          "planner.merge_certificate.rejected"
+      in
+      Alcotest.(check int) "rejection counted" (before + 1) after;
+      (* serial execution of the same plan is never refused *)
+      let cfg = Subql.Planner.parallel_config ~domains:1 stats config first_md in
+      Alcotest.(check int) "serial still allowed" 1 cfg.Subql.Eval.domains)
+
+(* --- Delta-maintainability (ING) -------------------------------------- *)
+
+let test_deltaable () =
+  (* the classic shape is maintainable, no diagnostics *)
+  let v = D.analyze count_md in
+  Alcotest.(check bool) "plain MD maintainable" true (Option.is_some v.D.maintainable);
+  Alcotest.(check (list string)) "no refusal" [] (codes v.D.diags);
+  let m = Option.get v.D.maintainable in
+  Alcotest.(check string) "detail table" "I" m.D.detail_table;
+  (* the widened class: a row-local chain on the detail side *)
+  let widened =
+    A.Md
+      {
+        base = o;
+        detail = A.Select (Expr.gt (attr ~rel:"i" "y") (Expr.int 2), i);
+        blocks =
+          [ Gmdj.block [ Aggregate.count_star "cnt" ] (Expr.eq (attr ~rel:"i" "k") (attr ~rel:"o" "k")) ];
+      }
+  in
+  Alcotest.(check bool) "filtered detail maintainable" true
+    (Option.is_some (D.analyze widened).D.maintainable);
+  (* the delta pipeline replays the detail chain on a suffix *)
+  let pipe = (Option.get (D.analyze widened).D.maintainable).D.delta_pipeline in
+  let raw = Catalog.find catalog "I" in
+  let out = Chunk.Source.to_relation (pipe (Chunk.Source.of_relation raw)) in
+  let expect =
+    Subql.Eval.eval catalog (A.Select (Expr.gt (attr ~rel:"i" "y") (Expr.int 2), i))
+  in
+  Alcotest.(check bool) "pipeline = detail chain" true
+    (Relation.equal_as_multiset expect out);
+  (* refusals carry their ING codes *)
+  Alcotest.(check bool) "no MD -> ING001" true (has "ING001" (D.analyze o).D.diags);
+  let both_sides =
+    A.Md
+      {
+        base = A.Rename ("o", A.Table "I");
+        detail = i;
+        blocks = [ Gmdj.block [ Aggregate.count_star "c" ] (Expr.bool true) ];
+      }
+  in
+  Alcotest.(check bool) "detail feeds base -> ING001" true
+    (has "ING001" (D.analyze both_sides).D.diags);
+  let rownum_detail =
+    A.Md
+      {
+        base = o;
+        detail = A.Add_rownum ("rn", i);
+        blocks = [ Gmdj.block [ Aggregate.count_star "c" ] (Expr.bool true) ];
+      }
+  in
+  Alcotest.(check bool) "rownum detail -> ING003" true
+    (has "ING003" (D.analyze rownum_detail).D.diags);
+  let completed = Subql.Optimize.optimize (Subql.Transform.to_algebra
+    (N.query ~base:(N.table "O") ~alias:"o" (N.exists (N.table "I") "i"))) in
+  Alcotest.(check bool) "completed form -> ING002" true
+    (has "ING002" (D.analyze completed).D.diags)
+
+(* --- Interval certificates -------------------------------------------- *)
+
+let test_intervals () =
+  let zcat = Subql_workload.Zoo.catalog () in
+  let stats = Subql.Cost.Stats.of_catalog zcat in
+  let config = Subql.Eval.default_config in
+  (* exact leaves, sound MD bound *)
+  let tree = Subql.Cost.intervals stats count_md in
+  Alcotest.(check bool) "MD interval = base interval" true
+    (tree.Subql.Cost.Interval.ival = { Subql.Cost.Interval.lo = 64.; hi = 64. });
+  (* a contradictory selection is proven dead *)
+  let dead =
+    A.Select
+      ( Expr.and_
+          (Expr.gt (attr ~rel:"o" "x") (Expr.int 5))
+          (Expr.lt (attr ~rel:"o" "x") (Expr.int 3)),
+        o )
+  in
+  let t = Subql.Cost.intervals stats dead in
+  Alcotest.(check bool) "contradiction -> [0,0]" true
+    (t.Subql.Cost.Interval.ival.Subql.Cost.Interval.hi = 0.);
+  (* a satisfiable range keeps the input's upper bound *)
+  let alive = A.Select (Expr.gt (attr ~rel:"o" "x") (Expr.int 5), o) in
+  let t = Subql.Cost.intervals stats alive in
+  Alcotest.(check bool) "sound hi kept" true
+    (t.Subql.Cost.Interval.ival.Subql.Cost.Interval.hi = 64.);
+  (* unknown table -> top -> infinite certified bound, IVL001 *)
+  let unknown = A.Distinct (A.Rename ("z", A.Table "Zzz")) in
+  let c = Subql_analysis.Interval.certify ~config stats unknown in
+  Alcotest.(check bool) "infinite bound" false
+    (Float.is_finite c.Subql_analysis.Interval.certificate.Subql.Cost.bound);
+  Alcotest.(check bool) "IVL001 names the table" true
+    (has "IVL001" c.Subql_analysis.Interval.diags)
+
+(* The certified bound admits plans the point estimate over-rejects:
+   the contradictory selection's breaker is provably empty, but the
+   heuristic still prices it at sel * |O| rows. *)
+let test_certified_admission () =
+  let zcat = Subql_workload.Zoo.catalog () in
+  let stats = Subql.Cost.Stats.of_catalog zcat in
+  let config = Subql.Eval.default_config in
+  let module Adm = Subql_server.Admission in
+  let policy = { Adm.unlimited with Adm.mem_budget_rows = 2. } in
+  let dead_distinct =
+    A.Distinct
+      (A.Select
+         ( Expr.and_
+             (Expr.gt (attr ~rel:"o" "x") (Expr.int 5))
+             (Expr.lt (attr ~rel:"o" "x") (Expr.int 3)),
+           o ))
+  in
+  (* the point estimate alone over-rejects this plan... *)
+  let point = Subql.Cost.memory_height stats ~config dead_distinct in
+  Alcotest.(check bool) "point estimate exceeds budget" true (point > 2.);
+  (* ...the certificate proves it empty and admits it *)
+  (match Adm.check_budget policy ~stats ~config ~label:"dead" dead_distinct with
+  | Ok rows -> Alcotest.(check (float 1e-9)) "certified footprint 0" 0. rows
+  | Error _ -> Alcotest.fail "certificate should admit the dead plan");
+  (* and the plan really is that small when run *)
+  let result = Subql.Eval.eval ~config zcat dead_distinct in
+  Alcotest.(check int) "provably empty" 0 (Relation.cardinality result);
+  (* a genuinely big breaker is still rejected, and the ADM001 message
+     names the certificate's argmax operator *)
+  let big = A.Distinct (A.Rename ("i", A.Table "I")) in
+  match Adm.check_budget policy ~stats ~config ~label:"big" big with
+  | Ok _ -> Alcotest.fail "big distinct must be rejected"
+  | Error r ->
+    Alcotest.(check string) "ADM001" "ADM001" r.Adm.diag.Diag.code;
+    let msg = r.Adm.diag.Diag.message in
+    let mentions s =
+      Alcotest.(check bool) (Printf.sprintf "message mentions %S" s) true
+        (try
+           ignore (Str.search_forward (Str.regexp_string s) msg 0);
+           true
+         with Not_found -> false)
+    in
+    mentions "certified bound";
+    mentions "Distinct"
+
+(* --- Certification over the zoo: clean, finite, byte-stable ----------- *)
+
+let test_certify_zoo () =
+  let zcat = Subql_workload.Zoo.catalog () in
+  let render (certs, combined) =
+    String.concat "\n"
+      (List.map
+         (fun c ->
+           Format.asprintf "%a" An.pp_certified c)
+         certs)
+    ^ "\n--\n"
+    ^ String.concat "\n" (List.map Diag.to_string combined)
+  in
+  let serial = An.certify_all ~domains:1 zcat Subql_workload.Zoo.queries in
+  let parallel = An.certify_all ~domains:4 zcat Subql_workload.Zoo.queries in
+  Alcotest.(check string) "byte-stable under domains" (render serial) (render parallel);
+  List.iter
+    (fun c ->
+      Alcotest.(check int)
+        (c.An.report.An.label ^ " certifies clean")
+        0 (An.certified_errors c);
+      match c.An.certificate with
+      | Some cert ->
+        Alcotest.(check bool)
+          (c.An.report.An.label ^ " bound finite")
+          true
+          (Float.is_finite cert.Subql.Cost.bound)
+      | None -> Alcotest.failf "%s: no certificate" c.An.report.An.label)
+    (fst serial)
+
+(* --- Diag.Scratch merge is scheduling-independent --------------------- *)
+
+let test_scratch () =
+  let d1 = Diag.error ~path:[ "A" ] ~code:"SCH001" "e" in
+  let d2 = Diag.warning ~path:[ "B" ] ~code:"LNT001" "w" in
+  let d3 = Diag.info ~path:[ "C" ] ~code:"ING001" "i" in
+  let order1 =
+    let s = [| Diag.Scratch.create (); Diag.Scratch.create () |] in
+    Diag.Scratch.add s.(0) d2;
+    Diag.Scratch.add_list s.(1) [ d3; d1 ];
+    Diag.Scratch.merge s
+  in
+  let order2 =
+    let s = [| Diag.Scratch.create (); Diag.Scratch.create (); Diag.Scratch.create () |] in
+    Diag.Scratch.add s.(0) d1;
+    Diag.Scratch.add s.(1) d3;
+    Diag.Scratch.add s.(2) d2;
+    Alcotest.(check int) "length counts adds" 1 (Diag.Scratch.length s.(2));
+    Diag.Scratch.merge s
+  in
+  Alcotest.(check (list string)) "merge is buffer-order independent"
+    (codes order1) (codes order2);
+  Alcotest.(check (list string)) "merged in total order"
+    [ "SCH001"; "LNT001"; "ING001" ] (codes order1)
+
 (* --- Cross-query sharing still verifies ------------------------------- *)
 
 let test_share_verified () =
@@ -363,4 +638,14 @@ let () =
           Alcotest.test_case "sharing verified" `Quick test_share_verified;
         ] );
       ("zoo", [ Alcotest.test_case "all templates clean" `Quick test_zoo_clean ]);
+      ( "certificates",
+        [
+          Alcotest.test_case "merge lawfulness" `Quick test_mergeable;
+          Alcotest.test_case "planner merge gate" `Quick test_merge_gate;
+          Alcotest.test_case "delta maintainability" `Quick test_deltaable;
+          Alcotest.test_case "interval soundness" `Quick test_intervals;
+          Alcotest.test_case "certified admission" `Quick test_certified_admission;
+          Alcotest.test_case "zoo certifies finite" `Quick test_certify_zoo;
+          Alcotest.test_case "scratch merge determinism" `Quick test_scratch;
+        ] );
     ]

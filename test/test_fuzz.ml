@@ -261,6 +261,7 @@ let rec rename_pred = function
           | Aggregate.Min e -> Aggregate.Min (rename_expr e)
           | Aggregate.Max e -> Aggregate.Max (rename_expr e)
           | Aggregate.Avg e -> Aggregate.Avg (rename_expr e)
+          | Aggregate.First e -> Aggregate.First (rename_expr e)
         in
         N.Cmp_agg (rename_expr lhs, op, func)
       | N.Quant (lhs, op, q, col) -> N.Quant (rename_expr lhs, op, q, col)
@@ -366,6 +367,86 @@ let analyzer_verdict_invariant (query, db, flags) =
     then fail "nullability widened"
     else true
   | _ -> fail "inference failed fatally"
+
+(* --- Certified interval containment ----------------------------------- *)
+
+module C = Subql.Cost
+
+(* Soundness of the interval abstract interpretation: the per-operator
+   output cardinality the instrumented evaluator measures lies inside
+   the certified [lo, hi] at every node of the plan — in every execution
+   mode (serial, worker domains, forced 1-row spill budgets, chunked
+   streaming) and again after random appends grow the detail tables
+   (with the statistics refreshed from the grown catalog). *)
+let rec contained (iv : C.Interval.tree) (ex : Subql_obs.Explain.node) =
+  C.Interval.contains iv.C.Interval.ival
+    (float_of_int ex.Subql_obs.Explain.rows_out)
+  && List.length iv.C.Interval.children = List.length ex.Subql_obs.Explain.children
+  && List.for_all2 contained iv.C.Interval.children ex.Subql_obs.Explain.children
+
+let gen_containment_case =
+  let row2 = G.list_repeat 2 Helpers.Gen.value_with_nulls in
+  let* query = gen_query in
+  let* db = Query_zoo.db_gen in
+  let* domains = G.int_range 1 4 in
+  let* budget = G.oneofl [ None; Some 1; Some 16 ] in
+  let* batches =
+    G.list_size (G.int_range 0 2) (G.pair G.bool (G.list_size (G.int_range 0 6) row2))
+  in
+  G.return (query, db, (domains, budget), batches)
+
+let certified_contains_observed (query, db, (domains, spill_budget_rows), batches) =
+  let catalog = Query_zoo.mk_catalog db in
+  let plan = Subql.Optimize.optimize (Subql.Transform.to_algebra query) in
+  let config =
+    { Subql.Eval.default_config with Subql.Eval.domains; spill_budget_rows }
+  in
+  let check_once () =
+    let stats = C.Stats.of_catalog catalog in
+    let tree = C.intervals stats plan in
+    let _, ex = Subql.Eval.eval_analyzed ~config catalog plan in
+    (if not (contained tree ex) then begin
+       Format.eprintf "@.interval containment violated on:@.%a@." N.pp_query query;
+       raise Exit
+     end);
+    (* chunked streaming reaches different operator paths; the root
+       cardinality must still obey the root interval *)
+    let sources table =
+      Catalog.find_opt catalog table
+      |> Option.map (fun rel ->
+             Chunk.Source.map Fun.id (Chunk.Source.of_relation ~chunk_rows:3 rel))
+    in
+    let rel = fst (Subql.Eval.eval_exec ~sources catalog plan) in
+    if
+      not
+        (C.Interval.contains tree.C.Interval.ival
+           (float_of_int (Relation.cardinality rel)))
+    then begin
+      Format.eprintf "@.chunked root cardinality escaped interval on:@.%a@."
+        N.pp_query query;
+      raise Exit
+    end
+  in
+  match
+    check_once ();
+    List.iter
+      (fun (to_i, batch) ->
+        let table = if to_i then "I" else "J" in
+        let rel = Catalog.find catalog table in
+        let all = ref [] in
+        Relation.iter (fun t -> all := t :: !all) rel;
+        let grown =
+          Array.append
+            (Array.of_list (List.rev !all))
+            (Array.of_list (List.map Array.of_list batch))
+        in
+        Catalog.add catalog table
+          (Relation.create ~check:false (Relation.schema rel) grown);
+        check_once ())
+      batches
+  with
+  | () -> true
+  | exception Exit -> false
 
 (* --- Incremental GMDJ maintenance under appends ---------------------- *)
 
@@ -550,6 +631,8 @@ let () =
         [
           Helpers.qtest ~count:300 "analyzer verdict invariant under optimize"
             gen_analysis_case analyzer_verdict_invariant;
+          Helpers.qtest ~count:150 "observed rows contained in certified intervals"
+            gen_containment_case certified_contains_observed;
         ] );
       ( "fingerprints",
         [
