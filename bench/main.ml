@@ -1,6 +1,6 @@
 (* Benchmark driver.
 
-   Usage: main.exe [fig2|fig3|fig4|fig5|fig5-noindex|ablation|micro|obs|mqo|exec|par|serve|ingest|all]
+   Usage: main.exe [fig2|fig3|fig4|fig5|fig5-noindex|ablation|micro|obs|mqo|exec|par|serve|ingest|codec|all]
                    [--full] [--budget F] [--seed N]
 
    Without --full the table sizes are one tenth of the paper's (the
@@ -93,6 +93,7 @@ let () =
     | "par" -> Par_bench.run options
     | "serve" -> Serve_bench.run options
     | "ingest" -> Ingest_bench.run options
+    | "codec" -> Codec_bench.run options
     | other ->
       Format.eprintf "unknown target %s@." other;
       exit 2

@@ -937,11 +937,41 @@ let ingest_cmd =
       $ batches_arg $ batch_rows_arg $ staleness_arg $ serve_min_cost_arg
       $ serve_metrics_arg)
 
+let schema_gen_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the module source to $(docv) (default: stdout).")
+  in
+  let tables_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "table" ] ~docv:"NAME"
+          ~doc:"Emit only $(docv) (repeatable; default: every catalog table).")
+  in
+  let run data workload flows users scale seed tables out =
+    let catalog = resolve_catalog data workload flows users scale seed in
+    let tables = match tables with [] -> None | l -> Some l in
+    let src = Subql_typed.Codegen.catalog_source ?tables catalog in
+    match out with
+    | None -> print_string src
+    | Some file -> Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc src)
+  in
+  Cmd.v
+    (Cmd.info "schema-gen"
+       ~doc:
+         "Emit typed OCaml accessor modules (Col handles, row records, of/to_tuple) derived \
+          from the catalog schemas for embedding in client code")
+    Term.(
+      const run $ data_arg $ workload_arg $ flows_arg $ users_arg $ scale_arg $ seed_arg
+      $ tables_arg $ out_arg)
+
 let bench_note_cmd =
   let run () =
     print_endline "The figure-reproduction harness lives in a separate executable:";
     print_endline
-      "  dune exec bench/main.exe -- [fig2|fig3|fig4|fig5|fig5-noindex|ablation|micro|obs|mqo|exec|par|serve|ingest|all] [--full]"
+      "  dune exec bench/main.exe -- [fig2|fig3|fig4|fig5|fig5-noindex|ablation|micro|obs|mqo|exec|par|serve|ingest|codec|all] [--full]"
   in
   Cmd.v (Cmd.info "bench" ~doc:"Where to find the benchmark harness") Term.(const run $ const ())
 
@@ -960,5 +990,6 @@ let () =
             ingest_cmd;
             explain_cmd;
             analyze_cmd;
+            schema_gen_cmd;
             bench_note_cmd;
           ]))

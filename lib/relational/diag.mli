@@ -20,7 +20,13 @@
     - [TRF0xx] — translation failures surfaced as diagnostics;
     - [ADM0xx] — serving-layer admission control (plan over the memory
       budget, queue-cap shed, submit after shutdown); see
-      [Subql_server.Admission]. *)
+      [Subql_server.Admission];
+    - [STO0xx] — storage-codec corruption (unknown value tag, truncated
+      payload, tag/column clash under a specialized decode plan); see
+      [Subql_storage.Codec];
+    - [TYD0xx] — typed-layer errors (unknown column, type or
+      nullability mismatch in derived accessors, column used outside
+      its DSL scope); see [Subql_typed]. *)
 
 type severity = Error | Warning | Info
 

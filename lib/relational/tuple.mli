@@ -12,8 +12,16 @@ val equal : t -> t -> bool
 (** Grouping equality (NULLs compare equal), positionwise. *)
 
 val compare : t -> t -> int
-(** Lexicographic extension of {!Value.compare}. *)
+(** Lexicographic extension of {!Value.compare}: a total order in which
+    a strict prefix sorts before its extensions.  It inherits
+    {!Value.compare}'s float conventions (NaN = NaN, [-0.] = [0.],
+    [Int]/[Float] promotion), so sorted relation output — and the
+    deterministic {!Diag} ordering derived from it — is stable across
+    runs. *)
 
 val hash : t -> int
+(** Positionwise fold of {!Value.hash}; consistent with {!equal}, which
+    the spill partitioner requires — tuples that compare equal must land
+    in the same hash partition. *)
 
 val pp : Format.formatter -> t -> unit

@@ -33,10 +33,22 @@ let conforms v ty =
 
 let is_null = function Null -> true | Int _ | Float _ | Str _ | Bool _ -> false
 
+(* Canonical float rendering: "%g" leaves NaN's sign bit observable
+   ("-nan" on most libcs) even though [compare] cannot distinguish NaN
+   payloads, so printing would not be a function of the value's
+   equivalence class.  Negative zero keeps its sign — it is a genuinely
+   different bit pattern, and round-tripping it matters — but every NaN
+   prints the one spelling "nan". *)
+let float_to_string f =
+  if Float.is_nan f then "nan"
+  else if f = Float.infinity then "inf"
+  else if f = Float.neg_infinity then "-inf"
+  else Printf.sprintf "%g" f
+
 let to_string = function
   | Null -> "NULL"
   | Int i -> string_of_int i
-  | Float f -> Printf.sprintf "%g" f
+  | Float f -> float_to_string f
   | Str s -> s
   | Bool b -> string_of_bool b
 
@@ -116,7 +128,7 @@ let neg = function
 let to_csv_string = function
   | Null -> ""
   | Int i -> string_of_int i
-  | Float f -> Printf.sprintf "%h" f
+  | Float f -> if Float.is_nan f then "nan" else Printf.sprintf "%h" f
   | Str s -> s
   | Bool b -> string_of_bool b
 

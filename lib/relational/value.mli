@@ -41,12 +41,26 @@ val is_null : t -> bool
     below. *)
 
 val equal : t -> t -> bool
+(** [equal a b] is [compare a b = 0] — so [Int 1 = Float 1.],
+    [Float nan = Float nan], and [Float (-0.) = Float 0.]. *)
 
 val compare : t -> t -> int
-(** Total order: [Null] sorts first; numeric values compare numerically
-    across [Int]/[Float]. *)
+(** Total order: [Null] sorts first, then numerics ([Int]/[Float]
+    jointly, compared numerically after promotion), then strings, then
+    booleans.  On floats this is [Float.compare]'s total order, not raw
+    IEEE: NaN equals NaN and sorts below every other number (including
+    every [Int]), and [-0.] equals [0.].  This is the one order the
+    engine sorts, groups, and deduplicates by — deterministic output
+    (and the deterministic {!Diag} emission built on sorted results)
+    depends on it being total. *)
 
 val hash : t -> int
+(** Consistent with {!equal}: [Int i] hashes as the float [i] so the
+    cross-type numeric classes collide as required, and OCaml's float
+    hash normalizes the sign of zero and all NaN payloads.  The spill
+    partitioner routes rows to partitions by this hash, so two values
+    that compare equal {e must} hash equal or a group would be split
+    across spill files. *)
 
 (** {1 SQL comparison semantics (3VL)} *)
 
@@ -71,8 +85,15 @@ val neg : t -> t
 (** {1 Printing} *)
 
 val pp : Format.formatter -> t -> unit
+(** Prints {!to_string}'s rendering. *)
 
 val to_string : t -> string
+(** Floats print with ["%g"], with the non-finite cases canonicalized:
+    every NaN prints ["nan"] (never ["-nan"] — the sign bit and payload
+    are unobservable through {!compare}, so printing must not leak
+    them), infinities print ["inf"]/["-inf"], and negative zero keeps
+    its sign as ["-0"] even though [compare (Float (-0.)) (Float 0.)]
+    is [0]. *)
 
 val to_csv_string : t -> string
 

@@ -10,6 +10,8 @@ type t = {
   path : string;
   fd : Unix.file_descr;
   schema : Schema.t;
+  plan : Codec.plan;  (** compiled once per open; drives the Specialized paths *)
+  mode : Codec.mode;
   page_size : int;
   writable : bool;
   mutable pages : int;
@@ -36,7 +38,7 @@ let really_write fd buf =
   in
   loop 0
 
-let write ~path ?(page_size = 8192) rel =
+let write ~path ?(page_size = 8192) ?(codec = Codec.Specialized) rel =
   if page_size < 64 then invalid_arg "Heap_file.write: page size too small";
   let payload = page_size - 2 in
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
@@ -76,13 +78,15 @@ let write ~path ?(page_size = 8192) rel =
     path;
     fd;
     schema = Relation.schema rel;
+    plan = Codec.plan_of_schema (Relation.schema rel);
+    mode = codec;
     page_size;
     writable = true;
     pages = !pages;
     row_count = Relation.cardinality rel;
   }
 
-let openfile ~path ?(writable = false) ~schema () =
+let openfile ~path ?(writable = false) ?(codec = Codec.Specialized) ~schema () =
   let flags = if writable then [ Unix.O_RDWR ] else [ Unix.O_RDONLY ] in
   let fd = Unix.openfile path flags 0 in
   let header = Bytes.create header_bytes in
@@ -96,13 +100,25 @@ let openfile ~path ?(writable = false) ~schema () =
     invalid_arg "Heap_file.openfile: stored arity does not match the schema";
   let file_bytes = (Unix.fstat fd).Unix.st_size in
   let pages = (file_bytes / page_size) - 1 in
-  { path; fd; schema; page_size; writable; pages; row_count }
+  {
+    path;
+    fd;
+    schema;
+    plan = Codec.plan_of_schema schema;
+    mode = codec;
+    page_size;
+    writable;
+    pages;
+    row_count;
+  }
 
 let close t = Unix.close t.fd
 
 let path t = t.path
 
 let schema t = t.schema
+
+let codec_mode t = t.mode
 
 let pages t = t.pages
 
@@ -152,7 +168,9 @@ let append_feed t feed =
     let n = Bytes.get_uint16_le page 0 in
     let pos = ref 2 in
     for _ = 1 to n do
-      ignore (Codec.decode_tuple page ~pos ~arity:(Schema.arity t.schema))
+      match t.mode with
+      | Codec.Specialized -> ignore (Codec.decode_tuple_plan t.plan page ~pos)
+      | Codec.Generic -> ignore (Codec.decode_tuple page ~pos ~arity:(Schema.arity t.schema))
     done;
     Buffer.add_subbytes buf page 2 (!pos - 2);
     count := n;
@@ -169,7 +187,9 @@ let append_feed t feed =
       let size = Codec.tuple_bytes row in
       if size > payload then invalid_arg "Heap_file.append: tuple exceeds the page payload";
       if Buffer.length buf + size > payload then flush ();
-      Codec.encode_tuple_checked buf t.schema row;
+      (match t.mode with
+      | Codec.Specialized -> Codec.encode_tuple_plan t.plan buf row
+      | Codec.Generic -> Codec.encode_tuple_checked buf t.schema row);
       incr count;
       incr appended);
   if !appended > 0 then begin
@@ -202,7 +222,16 @@ let decode_page t page_no ~pool =
   in
   let n = Bytes.get_uint16_le page 0 in
   let pos = ref 2 in
-  Array.init n (fun _ -> Codec.decode_tuple page ~pos ~arity:(Schema.arity t.schema))
+  try
+    match t.mode with
+    | Codec.Specialized -> Codec.decode_rows_plan t.plan page ~pos ~count:n
+    | Codec.Generic ->
+      let arity = Schema.arity t.schema in
+      Array.init n (fun _ -> Codec.decode_tuple page ~pos ~arity)
+  with Diag.Fail d ->
+    (* A corrupt cell names only its byte offset; say which file and
+       page it came from before the error escapes the storage layer. *)
+    raise (Diag.Fail { d with Diag.path = Printf.sprintf "%s: page %d" t.path page_no :: d.Diag.path })
 
 let scan_pages t ~pool f =
   for page_no = 0 to t.pages - 1 do

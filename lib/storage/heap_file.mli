@@ -10,7 +10,17 @@
     tail in place and {e invalidates} the affected frames in every live
     buffer pool ({!Buffer_pool.invalidate_all}), so a pool shared across
     an append never serves a stale last-page image.  Encoding on the
-    append path is schema-checked ({!Codec.check_tuple}). *)
+    append path is schema-checked ({!Codec.check_tuple}).
+
+    Every handle carries a {!Codec.plan} compiled once from its schema
+    at open time.  In the default [Specialized] codec mode, page decodes
+    and append encodes run through the plan's fixed per-column loop
+    ({!Codec.decode_tuple_plan}/{!Codec.encode_tuple_plan}); [Generic]
+    keeps the original per-cell tag dispatch as the fallback and oracle.
+    Both read and write the same byte format, so the mode is a pure
+    open-time choice — files are interchangeable.  Corrupt pages raise
+    {!Diag.Fail} with an [STO0xx] code whose [path] leads with
+    ["<file>: page <n>"]. *)
 
 open Subql_relational
 
@@ -24,15 +34,18 @@ type delta = {
 (** Where an append landed: [source_range ~first_page ~skip] streams
     exactly the appended rows. *)
 
-val write : path:string -> ?page_size:int -> Relation.t -> t
+val write : path:string -> ?page_size:int -> ?codec:Codec.mode -> Relation.t -> t
 (** Serialize the relation to [path] (page size defaults to 8192 bytes)
-    and return an open, writable handle.
+    and return an open, writable handle in the given codec mode
+    (default [Specialized]).
     @raise Invalid_argument if a single tuple exceeds the page payload. *)
 
-val openfile : path:string -> ?writable:bool -> schema:Schema.t -> unit -> t
+val openfile : path:string -> ?writable:bool -> ?codec:Codec.mode -> schema:Schema.t -> unit -> t
 (** Open an existing heap file; [writable] (default [false]) opens it
     read-write so {!append} works.  The stored arity must match [schema]
-    (column names/types are the caller's contract, as with CSV).
+    (column names/types are the caller's contract, as with CSV — though
+    in the default [Specialized] codec mode a type lie is caught at scan
+    time as [STO003]).
     @raise Invalid_argument on a bad magic or arity mismatch. *)
 
 val close : t -> unit
@@ -40,6 +53,9 @@ val close : t -> unit
 val path : t -> string
 
 val schema : t -> Schema.t
+
+val codec_mode : t -> Codec.mode
+(** The codec this handle was opened with. *)
 
 val pages : t -> int
 (** Data pages (header excluded); grows under {!append}. *)

@@ -1,0 +1,33 @@
+(** OCaml source emission for derived tables — the [schema-gen] backend.
+
+    [table_source] renders one {!Derive.t} as a self-contained OCaml
+    module: the table name, its schema value, one typed {!Col.t}
+    accessor per column, a [row] record ([option] fields exactly where
+    the derivation says NULLs can occur), and [of_tuple]/[to_tuple]
+    converters.  The emitted code depends only on [subql_typed] and
+    [subql_relational], compiles warning-free, and is meant to be
+    committed into a client project (the check-script compiles a fresh
+    emission every run to keep that true).
+
+    Column names pass through {!ident}: anything that is not a valid
+    OCaml identifier is mangled deterministically, keywords and the
+    module's own reserved names get a trailing underscore, and
+    collisions are numbered — so generation never fails on a legal
+    catalog, it only renames. *)
+
+open Subql_relational
+
+val ident : string -> string
+(** The OCaml value identifier for a column name (lowercased first
+    letter, illegal characters replaced by [_], keyword-safe).  Not
+    collision-free on its own — emission adds numeric suffixes. *)
+
+val module_name : string -> string
+(** The OCaml module name for a table name. *)
+
+val table_source : Derive.t -> string
+
+val catalog_source : ?tables:string list -> Catalog.t -> string
+(** Modules for the given tables (default: every catalog table), with a
+    generation header.
+    @raise Catalog.Unknown_table when a requested table is absent. *)

@@ -1,0 +1,97 @@
+open Subql_relational
+
+type non_null = |
+
+type nullable = |
+
+type (_, _) repr =
+  | Rint : (int, non_null) repr
+  | Rint_opt : (int, nullable) repr
+  | Rfloat : (float, non_null) repr
+  | Rfloat_opt : (float, nullable) repr
+  | Rstr : (string, non_null) repr
+  | Rstr_opt : (string, nullable) repr
+  | Rbool : (bool, non_null) repr
+  | Rbool_opt : (bool, nullable) repr
+
+type ('a, 'n) t = { table : string; name : string; index : int; repr : ('a, 'n) repr }
+
+let make ~table ~name ~index repr =
+  if index < 0 then invalid_arg "Col.make: negative column index";
+  { table; name; index; repr }
+
+let table c = c.table
+
+let name c = c.name
+
+let index c = c.index
+
+let value_ty (type a n) (c : (a, n) t) =
+  match c.repr with
+  | Rint | Rint_opt -> Value.Tint
+  | Rfloat | Rfloat_opt -> Value.Tfloat
+  | Rstr | Rstr_opt -> Value.Tstring
+  | Rbool | Rbool_opt -> Value.Tbool
+
+let is_nullable (type a n) (c : (a, n) t) =
+  match c.repr with
+  | Rint | Rfloat | Rstr | Rbool -> false
+  | Rint_opt | Rfloat_opt | Rstr_opt | Rbool_opt -> true
+
+let opt (type a n) (c : (a, n) t) : (a, nullable) t =
+  let repr : (a, nullable) repr =
+    match c.repr with
+    | Rint -> Rint_opt
+    | Rint_opt -> Rint_opt
+    | Rfloat -> Rfloat_opt
+    | Rfloat_opt -> Rfloat_opt
+    | Rstr -> Rstr_opt
+    | Rstr_opt -> Rstr_opt
+    | Rbool -> Rbool_opt
+    | Rbool_opt -> Rbool_opt
+  in
+  { table = c.table; name = c.name; index = c.index; repr }
+
+let fail ~table ~name ~code fmt =
+  Format.kasprintf
+    (fun msg ->
+      raise (Diag.Fail (Diag.error ~subject:(Printf.sprintf "%s.%s" table name) ~code msg)))
+    fmt
+
+let cell (c : (_, _) t) (row : Tuple.t) =
+  if c.index >= Array.length row then
+    fail ~table:c.table ~name:c.name ~code:"TYD004"
+      "column index %d out of range for a %d-ary row" c.index (Array.length row);
+  row.(c.index)
+
+let get : type a. (a, non_null) t -> Tuple.t -> a =
+ fun c row ->
+  let v = cell c row in
+  match c.repr, v with
+  | Rint, Value.Int i -> i
+  | Rfloat, Value.Float f -> f
+  | Rstr, Value.Str s -> s
+  | Rbool, Value.Bool b -> b
+  | _, v ->
+    fail ~table:c.table ~name:c.name ~code:"TYD005" "expected a non-NULL %s cell, found %s"
+      (Value.ty_to_string (value_ty c)) (Value.to_string v)
+
+let get_opt : type a n. (a, n) t -> Tuple.t -> a option =
+ fun c row ->
+  match cell c row with
+  | Value.Null -> None
+  | v -> (
+    match c.repr, v with
+    | Rint, Value.Int i -> Some i
+    | Rint_opt, Value.Int i -> Some i
+    | Rfloat, Value.Float f -> Some f
+    | Rfloat_opt, Value.Float f -> Some f
+    | Rstr, Value.Str s -> Some s
+    | Rstr_opt, Value.Str s -> Some s
+    | Rbool, Value.Bool b -> Some b
+    | Rbool_opt, Value.Bool b -> Some b
+    | _, v ->
+      fail ~table:c.table ~name:c.name ~code:"TYD005" "expected a %s cell, found %s"
+        (Value.ty_to_string (value_ty c)) (Value.to_string v))
+
+let to_expr c ~rel = Expr.attr ~rel c.name

@@ -1,0 +1,75 @@
+(** Typed column handles over untyped tuples.
+
+    A [('a, 'n) t] names one column of one table and carries, as phantom
+    parameters, the OCaml type its cells project to ([int], [float],
+    [string], [bool]) and whether the column is NULL-free ({!non_null})
+    or may hold NULLs ({!nullable}).  The handle is the bridge between
+    the engine's dynamically typed [Tuple.t] rows and typed client code:
+    {!get} on a {!non_null} handle returns a bare ['a], {!get_opt}
+    returns an ['a option] for either kind — so nullability mistakes are
+    OCaml type errors, not runtime surprises.
+
+    Handles are normally built by {!Derive} (from a catalog, with
+    nullability inferred by [Analysis.Typing]) or by modules emitted by
+    the [schema-gen] CLI command; {!make} is the raw constructor those
+    layers use.  A handle used against a row it does not describe fails
+    with a structured [TYD0xx] diagnostic, never a segfault or a silent
+    wrong answer. *)
+
+open Subql_relational
+
+type non_null
+(** Phantom index: the column provably holds no NULL. *)
+
+type nullable
+(** Phantom index: the column may hold NULL. *)
+
+(** Cell representation, indexed by OCaml type and nullability. *)
+type (_, _) repr =
+  | Rint : (int, non_null) repr
+  | Rint_opt : (int, nullable) repr
+  | Rfloat : (float, non_null) repr
+  | Rfloat_opt : (float, nullable) repr
+  | Rstr : (string, non_null) repr
+  | Rstr_opt : (string, nullable) repr
+  | Rbool : (bool, non_null) repr
+  | Rbool_opt : (bool, nullable) repr
+
+type ('a, 'n) t = private {
+  table : string;  (** owning table name *)
+  name : string;  (** column name *)
+  index : int;  (** position in the table's schema *)
+  repr : ('a, 'n) repr;
+}
+
+val make : table:string -> name:string -> index:int -> ('a, 'n) repr -> ('a, 'n) t
+(** @raise Invalid_argument on a negative index. *)
+
+val table : (_, _) t -> string
+
+val name : (_, _) t -> string
+
+val index : (_, _) t -> int
+
+val value_ty : (_, _) t -> Value.ty
+
+val is_nullable : (_, _) t -> bool
+
+val opt : ('a, _) t -> ('a, nullable) t
+(** Forget the non-NULL fact (widening is always sound). *)
+
+val get : ('a, non_null) t -> Tuple.t -> 'a
+(** Project a cell from a row of the column's table.  Only defined on
+    {!non_null} handles — asking for a bare value out of a nullable
+    column is a compile-time error; use {!get_opt} or {!opt}.
+    @raise Diag.Fail [TYD004] when the row is too short, [TYD005] when
+    the cell is NULL or of the wrong dynamic type (the handle does not
+    describe this row). *)
+
+val get_opt : ('a, _) t -> Tuple.t -> 'a option
+(** Like {!get} but total over NULLs: [None] for a NULL cell.
+    @raise Diag.Fail [TYD004]/[TYD005] as for {!get} (type mismatches
+    still fail — only NULL is absorbed). *)
+
+val to_expr : (_, _) t -> rel:string -> Expr.t
+(** The attribute reference [rel.name] for predicate construction. *)

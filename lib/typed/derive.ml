@@ -1,0 +1,101 @@
+open Subql_relational
+module Nullability = Subql_analysis.Nullability
+module Typing = Subql_analysis.Typing
+
+type column = Packed : ('a, 'n) Col.t -> column
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  nulls : Nullability.t array;
+  columns : column array;
+}
+
+let fail ~table ~col ~code fmt =
+  Format.kasprintf
+    (fun msg ->
+      raise (Diag.Fail (Diag.error ~subject:(Printf.sprintf "%s.%s" table col) ~code msg)))
+    fmt
+
+let packed_at ~table schema nulls i =
+  let a = Schema.attr_at schema i in
+  let non_null = nulls.(i) = Nullability.Non_null in
+  let mk repr = Packed (Col.make ~table ~name:a.Schema.name ~index:i repr) in
+  match a.Schema.ty, non_null with
+  | Value.Tint, true -> mk Col.Rint
+  | Value.Tint, false -> mk Col.Rint_opt
+  | Value.Tfloat, true -> mk Col.Rfloat
+  | Value.Tfloat, false -> mk Col.Rfloat_opt
+  | Value.Tstring, true -> mk Col.Rstr
+  | Value.Tstring, false -> mk Col.Rstr_opt
+  | Value.Tbool, true -> mk Col.Rbool
+  | Value.Tbool, false -> mk Col.Rbool_opt
+
+let of_catalog catalog tname =
+  let rel = Catalog.find catalog tname in
+  let schema = Relation.schema rel in
+  let env = Typing.env_of_catalog catalog in
+  let nulls = env.Typing.table_nulls tname in
+  let columns =
+    Array.init (Schema.arity schema) (fun i -> packed_at ~table:tname schema nulls i)
+  in
+  { name = tname; schema; nulls; columns }
+
+let all_of_catalog catalog = List.map (of_catalog catalog) (Catalog.tables catalog)
+
+let name t = t.name
+
+let schema t = t.schema
+
+let lookup t col =
+  match Schema.find_opt t.schema col with
+  | Some i -> i
+  | None -> fail ~table:t.name ~col ~code:"TYD001" "table %s has no column %s" t.name col
+
+let column t col = t.columns.(lookup t col)
+
+let require_ty t col i ty =
+  let a = Schema.attr_at t.schema i in
+  if a.Schema.ty <> ty then
+    fail ~table:t.name ~col ~code:"TYD002" "column %s.%s is %s, not %s" t.name col
+      (Value.ty_to_string a.Schema.ty) (Value.ty_to_string ty)
+
+let require_non_null t col i =
+  match t.nulls.(i) with
+  | Nullability.Non_null -> ()
+  | n ->
+    fail ~table:t.name ~col ~code:"TYD003"
+      "column %s.%s is %s; use the _opt accessor (bare access needs a non-NULL derivation)"
+      t.name col (Nullability.to_string n)
+
+let typed_col t col ty repr =
+  let i = lookup t col in
+  require_ty t col i ty;
+  require_non_null t col i;
+  Col.make ~table:t.name ~name:col ~index:i repr
+
+let typed_opt t col ty repr =
+  let i = lookup t col in
+  require_ty t col i ty;
+  Col.make ~table:t.name ~name:col ~index:i repr
+
+let int_col t col = typed_col t col Value.Tint Col.Rint
+
+let int_opt t col = typed_opt t col Value.Tint Col.Rint_opt
+
+let float_col t col = typed_col t col Value.Tfloat Col.Rfloat
+
+let float_opt t col = typed_opt t col Value.Tfloat Col.Rfloat_opt
+
+let str_col t col = typed_col t col Value.Tstring Col.Rstr
+
+let str_opt t col = typed_opt t col Value.Tstring Col.Rstr_opt
+
+let bool_col t col = typed_col t col Value.Tbool Col.Rbool
+
+let bool_opt t col = typed_opt t col Value.Tbool Col.Rbool_opt
+
+let codec t =
+  Subql_storage.Codec.plan_of_schema
+    ~non_null:(Array.map (fun n -> n = Nullability.Non_null) t.nulls)
+    t.schema

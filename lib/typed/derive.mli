@@ -1,0 +1,71 @@
+(** Schema derivation: typed accessor sets from a catalog.
+
+    [of_catalog catalog "T"] inspects T's schema {e and} its instance
+    nullability (via [Analysis.Typing.env_of_catalog]: a column is
+    non-NULL iff no stored row holds NULL in it — the catalog carries no
+    NOT NULL declarations, so the instance is the best static knowledge)
+    and packages one typed {!Col.t} per column.  The typed lookups
+    ({!int_col}/{!int_opt}, …) are the checked constructors client code
+    uses: asking for a bare accessor over a possibly-NULL column is
+    refused with a [TYD003] diagnostic rather than deferred to a runtime
+    surprise on the first NULL.
+
+    The same nullability knowledge compiles into a storage {!codec}
+    plan, so a table derived here scans and appends through the
+    specialized codec with NULL-freedom enforced per column. *)
+
+open Subql_relational
+
+type column = Packed : ('a, 'n) Col.t -> column
+(** A column handle with its type and nullability hidden — the uniform
+    form for iterating a whole table. *)
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  nulls : Subql_analysis.Nullability.t array;  (** positional, from the instance *)
+  columns : column array;  (** one packed handle per schema position *)
+}
+
+val of_catalog : Catalog.t -> string -> t
+(** @raise Catalog.Unknown_table when the table is absent. *)
+
+val all_of_catalog : Catalog.t -> t list
+(** Every table of the catalog, in {!Catalog.tables} order. *)
+
+val name : t -> string
+
+val schema : t -> Schema.t
+
+val column : t -> string -> column
+(** The packed handle for a named column, with its precise derived
+    nullability.  @raise Diag.Fail [TYD001] on an unknown column. *)
+
+(** {1 Typed lookups}
+
+    [<ty>_col] requires the column to be both of the right type and
+    derived non-NULL; [<ty>_opt] requires only the type and accepts
+    either nullability (a non-NULL column widens soundly).
+    @raise Diag.Fail [TYD001] unknown column, [TYD002] type mismatch,
+    [TYD003] when a [_col] lookup hits a possibly-NULL column. *)
+
+val int_col : t -> string -> (int, Col.non_null) Col.t
+
+val int_opt : t -> string -> (int, Col.nullable) Col.t
+
+val float_col : t -> string -> (float, Col.non_null) Col.t
+
+val float_opt : t -> string -> (float, Col.nullable) Col.t
+
+val str_col : t -> string -> (string, Col.non_null) Col.t
+
+val str_opt : t -> string -> (string, Col.nullable) Col.t
+
+val bool_col : t -> string -> (bool, Col.non_null) Col.t
+
+val bool_opt : t -> string -> (bool, Col.nullable) Col.t
+
+val codec : t -> Subql_storage.Codec.plan
+(** The table's schema compiled for the specialized codec, with the
+    derived non-NULL columns declared NULL-free — a stored NULL there
+    decodes as [STO003] corruption instead of slipping through. *)

@@ -1,0 +1,183 @@
+open Subql_relational
+module N = Subql_nested.Nested_ast
+
+(* The phantom parameters live only in the interface: internally an
+   [exp] is an [Expr.t] and a [pred] is a [Nested_ast.pred], so
+   elaboration is the identity and DSL queries are structurally the
+   queries the SQL front-end produces. *)
+type ('a, 'n) exp = Expr.t
+
+type pred = N.pred
+
+type query = N.query
+
+type scope = { alias : string; tbl : Derive.t; only : string list option }
+
+type packed = P : ('a, 'n) Col.t -> packed
+
+let fail ~subject ~code fmt =
+  Format.kasprintf (fun msg -> raise (Diag.Fail (Diag.error ~subject ~code msg))) fmt
+
+(* --- expressions --------------------------------------------------- *)
+
+let int = Expr.int
+
+let float = Expr.float
+
+let str = Expr.str
+
+let bool = Expr.bool
+
+let col s c =
+  let table = Derive.name s.tbl in
+  if Col.table c <> table then
+    fail
+      ~subject:(Printf.sprintf "%s.%s" (Col.table c) (Col.name c))
+      ~code:"TYD006" "column %s.%s used under scope %s, which ranges over table %s"
+      (Col.table c) (Col.name c) s.alias table;
+  (match s.only with
+  | Some names when not (List.mem (Col.name c) names) ->
+    fail
+      ~subject:(Printf.sprintf "%s.%s" table (Col.name c))
+      ~code:"TYD006" "column %s is projected away in scope %s (visible: %s)" (Col.name c)
+      s.alias (String.concat ", " names)
+  | _ -> ());
+  Expr.attr ~rel:s.alias (Col.name c)
+
+(* --- predicates ---------------------------------------------------- *)
+
+let cmp op a b = N.atom (Expr.cmp op a b)
+
+let ( ==. ) a b = cmp Expr.Eq a b
+
+let ( <>. ) a b = cmp Expr.Ne a b
+
+let ( <. ) a b = cmp Expr.Lt a b
+
+let ( <=. ) a b = cmp Expr.Le a b
+
+let ( >. ) a b = cmp Expr.Gt a b
+
+let ( >=. ) a b = cmp Expr.Ge a b
+
+let is_null e = N.atom (Expr.Is_null e)
+
+let is_not_null e = N.atom (Expr.Is_not_null e)
+
+let ptrue = N.Ptrue
+
+(* Subquery-free atoms fuse at the expression level: [a &&. b] over two
+   atoms yields the single atom [a AND b], which is how both the zoo and
+   the SQL parser shape plain conjunctions — keeping fingerprints in
+   sync with the untyped front-ends. *)
+let ( &&. ) a b =
+  match a, b with N.Atom x, N.Atom y -> N.atom (Expr.and_ x y) | _ -> N.pand a b
+
+let ( ||. ) a b =
+  match a, b with N.Atom x, N.Atom y -> N.atom (Expr.or_ x y) | _ -> N.por a b
+
+let not_ p = N.pnot p
+
+(* --- subquery predicates ------------------------------------------- *)
+
+let sub_scope tbl alias = { alias; tbl; only = None }
+
+let where_in s = Option.map (fun f -> f s)
+
+let require_member tbl (c : (_, _) Col.t) =
+  if Col.table c <> Derive.name tbl then
+    fail
+      ~subject:(Printf.sprintf "%s.%s" (Col.table c) (Col.name c))
+      ~code:"TYD006" "column %s.%s is not a column of range table %s" (Col.table c)
+      (Col.name c) (Derive.name tbl)
+
+let exists ?where tbl alias =
+  let s = sub_scope tbl alias in
+  N.exists ?where:(where_in s where) (N.table (Derive.name tbl)) alias
+
+let not_exists ?where tbl alias =
+  let s = sub_scope tbl alias in
+  N.not_exists ?where:(where_in s where) (N.table (Derive.name tbl)) alias
+
+let some_ lhs op ?where tbl alias ~col =
+  require_member tbl col;
+  let s = sub_scope tbl alias in
+  N.some_ lhs op ?where:(where_in s where) (N.table (Derive.name tbl)) alias ~col:(Col.name col)
+
+let all_ lhs op ?where tbl alias ~col =
+  require_member tbl col;
+  let s = sub_scope tbl alias in
+  N.all_ lhs op ?where:(where_in s where) (N.table (Derive.name tbl)) alias ~col:(Col.name col)
+
+let in_ lhs ?where tbl alias ~col =
+  require_member tbl col;
+  let s = sub_scope tbl alias in
+  N.in_ lhs ?where:(where_in s where) (N.table (Derive.name tbl)) alias ~col:(Col.name col)
+
+let not_in lhs ?where tbl alias ~col =
+  require_member tbl col;
+  let s = sub_scope tbl alias in
+  N.not_in lhs ?where:(where_in s where) (N.table (Derive.name tbl)) alias ~col:(Col.name col)
+
+let scalar_cmp lhs op ?where tbl alias ~col =
+  require_member tbl col;
+  let s = sub_scope tbl alias in
+  N.scalar_cmp lhs op ?where:(where_in s where) (N.table (Derive.name tbl)) alias
+    ~col:(Col.name col)
+
+(* --- aggregate subqueries ------------------------------------------ *)
+
+type ('a, 'n) agg = Aggregate.func
+
+let count_star = Aggregate.Count_star
+
+let count e = Aggregate.Count e
+
+let sum e = Aggregate.Sum e
+
+let sum_float e = Aggregate.Sum e
+
+let min_ e = Aggregate.Min e
+
+let max_ e = Aggregate.Max e
+
+let avg e = Aggregate.Avg e
+
+let avg_float e = Aggregate.Avg e
+
+let first e = Aggregate.First e
+
+let agg_cmp lhs op f ?where tbl alias =
+  let s = sub_scope tbl alias in
+  N.agg_cmp lhs op (f s) ?where:(where_in s where) (N.table (Derive.name tbl)) alias
+
+let agg_cmp_num lhs op f ?where tbl alias = agg_cmp lhs op f ?where tbl alias
+
+(* --- query blocks -------------------------------------------------- *)
+
+let from tbl alias f =
+  let s = sub_scope tbl alias in
+  N.query ~base:(N.table (Derive.name tbl)) ~alias (f s)
+
+let from_product (t1, a1) (t2, a2) f =
+  let s1 = sub_scope t1 a1 and s2 = sub_scope t2 a2 in
+  N.query
+    ~base:
+      (N.Bproduct
+         (N.Balias (a1, N.table (Derive.name t1)), N.Balias (a2, N.table (Derive.name t2))))
+    ~alias:"" (f s1 s2)
+
+let from_distinct tbl ~cols alias f =
+  let names =
+    List.map
+      (fun (P c) ->
+        require_member tbl c;
+        Col.name c)
+      cols
+  in
+  let s = { alias; tbl; only = Some names } in
+  N.query
+    ~base:(N.Bproject { cols = names; distinct = true; input = N.table (Derive.name tbl) })
+    ~alias (f s)
+
+let to_query q = q

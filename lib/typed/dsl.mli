@@ -1,0 +1,193 @@
+(** A phantom-typed combinator DSL over the nested-query AST.
+
+    Queries built here elaborate {e directly} to
+    {!Subql_nested.Nested_ast} — the same AST the SQL front-end parses
+    into — so they flow unchanged through the optimizer, planner,
+    verifier and certificate passes, and a DSL query that mirrors a SQL
+    query produces the identical fingerprint and plan.  What the DSL
+    adds is OCaml's type checker at query-construction time: comparing
+    an [int] column with a [string] column, or feeding a [float]
+    aggregate to an [int] comparison, is a compile error.
+
+    Scoping is host-language scoping (HOAS): every range — the outer
+    block, each subquery — introduces a {!scope} through a callback, and
+    correlation is just using an enclosing scope's variable inside an
+    inner callback:
+
+    {[
+      let open Subql_typed in
+      let i = Derive.of_catalog catalog "I" in
+      let o = Derive.of_catalog catalog "O" in
+      let ok = Derive.int_opt o "k" and ik = Derive.int_opt i "k" in
+      let q =
+        Dsl.(
+          from o "o" (fun o ->
+              exists i "i"
+                ~where:(fun i -> col i ik ==. col o ok)))
+      in
+      Subql.Eval.eval catalog
+        (Subql.Optimize.optimize (Subql.Transform.to_algebra (Dsl.to_query q)))
+    ]}
+
+    Column handles carry their owning table, so using a column under a
+    scope that ranges over a different table fails immediately with
+    [TYD006] — the runtime residue of what the phantom types cannot see
+    (two scopes may range over the same-typed tables). *)
+
+open Subql_relational
+
+type ('a, 'n) exp
+(** A scalar expression yielding ['a], possibly NULL when ['n] is
+    {!Col.nullable}. *)
+
+type pred
+(** A (3VL) predicate — the DSL image of [Nested_ast.pred]. *)
+
+type query
+
+type scope
+(** One relation occurrence (table + alias) a predicate may read
+    columns from. *)
+
+type packed = P : ('a, 'n) Col.t -> packed
+
+(** {1 Expressions} *)
+
+val int : int -> (int, Col.non_null) exp
+
+val float : float -> (float, Col.non_null) exp
+
+val str : string -> (string, Col.non_null) exp
+
+val bool : bool -> (bool, Col.non_null) exp
+
+val col : scope -> ('a, 'n) Col.t -> ('a, 'n) exp
+(** Reference a column through a scope.
+    @raise Diag.Fail [TYD006] when the column does not belong to the
+    scope's table, or was projected away by {!from_distinct}. *)
+
+(** {1 Predicates}
+
+    Comparisons require both sides to share the scalar type ['a];
+    nullability is free (SQL comparison is 3VL anyway). *)
+
+val ( ==. ) : ('a, 'n) exp -> ('a, 'm) exp -> pred
+
+val ( <>. ) : ('a, 'n) exp -> ('a, 'm) exp -> pred
+
+val ( <. ) : ('a, 'n) exp -> ('a, 'm) exp -> pred
+
+val ( <=. ) : ('a, 'n) exp -> ('a, 'm) exp -> pred
+
+val ( >. ) : ('a, 'n) exp -> ('a, 'm) exp -> pred
+
+val ( >=. ) : ('a, 'n) exp -> ('a, 'm) exp -> pred
+
+val cmp : Expr.cmp -> ('a, 'n) exp -> ('a, 'm) exp -> pred
+
+val is_null : ('a, 'n) exp -> pred
+
+val is_not_null : ('a, 'n) exp -> pred
+
+val ptrue : pred
+
+val ( &&. ) : pred -> pred -> pred
+(** Conjunction.  Two plain (subquery-free) atoms fuse into one atom —
+    matching how hand-written and SQL-parsed predicates are shaped, so
+    fingerprints agree. *)
+
+val ( ||. ) : pred -> pred -> pred
+(** Disjunction, with the same atom-fusion rule. *)
+
+val not_ : pred -> pred
+
+(** {1 Subquery predicates}
+
+    Each takes the subquery's range as a {!Derive.t} plus its alias, and
+    the optional correlated [where] as a callback receiving the
+    subquery's scope.  Column arguments ([~col]) must share the scalar
+    type with the left-hand side — the typed rendering of the AST's
+    untyped column-name strings.
+    @raise Diag.Fail [TYD006] when [~col] is not a column of the range
+    table. *)
+
+val exists : ?where:(scope -> pred) -> Derive.t -> string -> pred
+
+val not_exists : ?where:(scope -> pred) -> Derive.t -> string -> pred
+
+val some_ :
+  ('a, 'n) exp -> Expr.cmp -> ?where:(scope -> pred) -> Derive.t -> string ->
+  col:('a, 'm) Col.t -> pred
+
+val all_ :
+  ('a, 'n) exp -> Expr.cmp -> ?where:(scope -> pred) -> Derive.t -> string ->
+  col:('a, 'm) Col.t -> pred
+
+val in_ :
+  ('a, 'n) exp -> ?where:(scope -> pred) -> Derive.t -> string -> col:('a, 'm) Col.t -> pred
+
+val not_in :
+  ('a, 'n) exp -> ?where:(scope -> pred) -> Derive.t -> string -> col:('a, 'm) Col.t -> pred
+
+val scalar_cmp :
+  ('a, 'n) exp -> Expr.cmp -> ?where:(scope -> pred) -> Derive.t -> string ->
+  col:('a, 'm) Col.t -> pred
+
+(** {1 Aggregate subqueries}
+
+    An [('a, 'n) agg] yields ['a] (possibly NULL: every value aggregate
+    is NULL on an empty or all-NULL range, hence {!Col.nullable}; the
+    counting forms are provably non-NULL).  The aggregate is built
+    inside a callback so its argument can read the subquery's scope. *)
+
+type ('a, 'n) agg
+
+val count_star : (int, Col.non_null) agg
+
+val count : ('a, 'n) exp -> (int, Col.non_null) agg
+
+val sum : (int, 'n) exp -> (int, Col.nullable) agg
+
+val sum_float : (float, 'n) exp -> (float, Col.nullable) agg
+
+val min_ : ('a, 'n) exp -> ('a, Col.nullable) agg
+
+val max_ : ('a, 'n) exp -> ('a, Col.nullable) agg
+
+val avg : (int, 'n) exp -> (float, Col.nullable) agg
+(** SQL [AVG] over ints is a float (integer-division averages are a
+    classic wrong-answer source). *)
+
+val avg_float : (float, 'n) exp -> (float, Col.nullable) agg
+
+val first : ('a, 'n) exp -> ('a, Col.nullable) agg
+
+val agg_cmp :
+  ('a, 'n) exp -> Expr.cmp -> (scope -> ('a, 'm) agg) -> ?where:(scope -> pred) ->
+  Derive.t -> string -> pred
+
+val agg_cmp_num :
+  (int, 'n) exp -> Expr.cmp -> (scope -> (float, 'm) agg) -> ?where:(scope -> pred) ->
+  Derive.t -> string -> pred
+(** The one sanctioned cross-type comparison: an [int] expression
+    against a [float]-valued aggregate (e.g. [x > AVG(y)]), mirroring
+    the engine's numeric promotion. *)
+
+(** {1 Query blocks} *)
+
+val from : Derive.t -> string -> (scope -> pred) -> query
+(** [SELECT * FROM t alias WHERE …]. *)
+
+val from_product :
+  Derive.t * string -> Derive.t * string -> (scope -> scope -> pred) -> query
+(** Two-relation FROM clause: both aliases stay visible to subqueries
+    (the block itself is unaliased, as in the AST). *)
+
+val from_distinct : Derive.t -> cols:packed list -> string -> (scope -> pred) -> query
+(** Range over [SELECT DISTINCT cols FROM t]: the scope exposes only
+    [cols]; reading any other column of [t] fails with [TYD006].
+    @raise Diag.Fail [TYD006] when a [col] is not a column of [t]. *)
+
+val to_query : query -> Subql_nested.Nested_ast.query
+(** The underlying AST — hand this to [Subql.Transform]/[Subql_mqo]
+    exactly as a parsed SQL query. *)

@@ -392,4 +392,74 @@ echo "$dout" | grep -Eq "repaired [1-9][0-9]*" || {
 }
 
 echo
+echo "== bench smoke test: codec target gates decode-specialization regressions =="
+# The codec benchmark self-verifies (both decode modes reconstruct the
+# source relation exactly); on top of that, the schema-specialized
+# decode must beat the generic tag-dispatch codec by the 1.3x
+# acceptance floor and stay within 30% of the committed baseline.
+dune exec bench/main.exe -- codec > /dev/null
+python3 - <<'PY'
+import json, sys
+with open("BENCH_codec.json") as f:
+    fresh = json.load(f)
+with open("bench/BENCH_codec.baseline.json") as f:
+    base = json.load(f)
+if fresh["verified"] is not True:
+    sys.exit("FAIL: BENCH_codec.json reports verified != true")
+if fresh["speedup"] < 1.3:
+    sys.exit(f"FAIL: specialized decode speedup {fresh['speedup']:.2f}x < 1.3x floor")
+if fresh["speedup"] < base["speedup"] * 0.7:
+    sys.exit(f"FAIL: speedup regressed >30% vs baseline: "
+             f"{base['speedup']:.2f}x -> {fresh['speedup']:.2f}x")
+print("BENCH_codec.json: verified, specialized decode %.2fx vs generic (baseline %.2fx)"
+      % (fresh["speedup"], base["speedup"]))
+PY
+
+echo
+echo "== CLI smoke test: schema-gen output compiles and round-trips its catalog =="
+# Emit typed modules for the netflow catalog into a scratch dune
+# directory, compile them with warnings-as-errors, and run a round-trip
+# over every generated table: of_tuple/to_tuple must be the identity on
+# each stored row.
+smoke_dir="scripts/schema_gen_smoke"
+rm -rf "$smoke_dir"
+mkdir -p "$smoke_dir"
+trap 'rm -f "$batch_sql"; rm -rf "$smoke_dir"' EXIT
+dune exec bin/olap_cli.exe -- schema-gen --flows 500 --users 50 --out "$smoke_dir/netflow_gen.ml"
+cat > "$smoke_dir/dune" <<'DUNE'
+(executable
+ (name smoke)
+ (libraries subql_relational subql_workload subql_typed))
+DUNE
+cat > "$smoke_dir/smoke.ml" <<'ML'
+(* Smoke for freshly emitted [schema-gen] modules: rebuild the catalog
+   the modules were generated from and push every stored row through
+   the generated of_tuple/to_tuple pair. *)
+open Subql_relational
+
+let () =
+  let catalog =
+    Subql_workload.Netflow.generate
+      {
+        Subql_workload.Netflow.default_config with
+        Subql_workload.Netflow.n_flows = 500;
+        n_users = 50;
+        seed = 42L;
+      }
+  in
+  let check name schema of_to =
+    let rel = Catalog.find catalog name in
+    assert (Schema.equal schema (Relation.schema rel));
+    Relation.iter (fun t -> assert (Tuple.equal t (of_to t))) rel
+  in
+  check "Flow" Netflow_gen.Flow.schema (fun t -> Netflow_gen.Flow.(to_tuple (of_tuple t)));
+  check "Hours" Netflow_gen.Hours.schema (fun t -> Netflow_gen.Hours.(to_tuple (of_tuple t)));
+  check "User" Netflow_gen.User.schema (fun t -> Netflow_gen.User.(to_tuple (of_tuple t)));
+  print_endline "schema-gen smoke: 3 generated modules round-trip their catalog"
+ML
+dune build "$smoke_dir/smoke.exe"
+dune exec "$smoke_dir/smoke.exe"
+rm -rf "$smoke_dir"
+
+echo
 echo "check.sh: OK"

@@ -47,6 +47,42 @@ let test_value_compare () =
   | exception Value.Type_error _ -> ()
   | _ -> Alcotest.fail "expected Type_error on string vs int")
 
+(* Float printing is canonical: both NaN payloads (the sign bit of a
+   NaN is noise) print as "nan", negative zero keeps its sign, and the
+   CSV cell form is bit-exact.  The engine's sort/group/dedup order
+   relies on the matching [compare]/[hash] conventions. *)
+let test_value_printing () =
+  Alcotest.(check string) "nan" "nan" (Value.to_string (Value.Float Float.nan));
+  Alcotest.(check string) "negative nan" "nan" (Value.to_string (Value.Float (-.Float.nan)));
+  Alcotest.(check string) "inf" "inf" (Value.to_string (Value.Float Float.infinity));
+  Alcotest.(check string) "-inf" "-inf" (Value.to_string (Value.Float Float.neg_infinity));
+  Alcotest.(check string) "negative zero keeps its sign" "-0"
+    (Value.to_string (Value.Float (-0.)));
+  Alcotest.(check string) "csv nan is canonical" "nan"
+    (Value.to_csv_string (Value.Float (-.Float.nan)));
+  (* The documented total order: NaN equals itself and sits below every
+     number; -0. and 0. are the same point, also under [hash]. *)
+  Alcotest.(check bool) "NaN = NaN" true
+    (Value.equal (Value.Float Float.nan) (Value.Float Float.nan));
+  Alcotest.(check bool) "NaN below numbers" true
+    (Value.compare (Value.Float Float.nan) (Value.Float neg_infinity) < 0);
+  Alcotest.(check bool) "-0 = 0" true (Value.equal (Value.Float (-0.)) (Value.Float 0.));
+  Alcotest.(check bool) "-0/0 hash together" true
+    (Value.hash (Value.Float (-0.)) = Value.hash (Value.Float 0.));
+  Alcotest.(check bool) "NaN hashes consistently" true
+    (Value.hash (Value.Float Float.nan) = Value.hash (Value.Float (-.Float.nan)));
+  (* CSV cells round-trip the awkward floats bit-for-bit (modulo the
+     NaN payload, which [equal] already identifies). *)
+  List.iter
+    (fun f ->
+      let v = Value.Float f in
+      let round = Value.of_csv_string Value.Tfloat (Value.to_csv_string v) in
+      Alcotest.(check bool)
+        (Printf.sprintf "csv roundtrip %h" f)
+        true
+        (Value.equal round v && Value.is_null round = Value.is_null v))
+    [ -0.; 0.1; Float.nan; Float.infinity; Float.neg_infinity; 1e-300; -1.5e300 ]
+
 let test_value_arith () =
   Alcotest.(check bool) "div by zero is null" true (Value.is_null (Value.div (Value.Int 1) (Value.Int 0)));
   Alcotest.(check bool) "mod by zero is null" true
@@ -369,6 +405,7 @@ let () =
       ( "value",
         [
           Alcotest.test_case "compare/equal/hash" `Quick test_value_compare;
+          Alcotest.test_case "canonical float printing" `Quick test_value_printing;
           Alcotest.test_case "arithmetic" `Quick test_value_arith;
           Alcotest.test_case "csv cells" `Quick test_value_csv_roundtrip;
         ] );

@@ -39,6 +39,99 @@ let codec_roundtrip values =
          | _ -> Value.equal a b && Value.is_null a = Value.is_null b)
        tuple decoded
 
+(* --- Schema-compiled codec plans --------------------------------------- *)
+
+let value_eq a b =
+  match a, b with
+  | Value.Float x, Value.Float y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | _ -> Value.equal a b && Value.is_null a = Value.is_null b
+
+let ty_gen = QCheck2.Gen.oneofl [ Value.Tint; Value.Tfloat; Value.Tstring; Value.Tbool ]
+
+let typed_value_gen ty =
+  QCheck2.Gen.(
+    let v =
+      match ty with
+      | Value.Tint -> map (fun i -> Value.Int i) int
+      | Value.Tfloat -> map (fun f -> Value.Float f) (float_range (-1e12) 1e12)
+      | Value.Tstring -> map (fun s -> Value.Str s) (string_size ~gen:char (int_range 0 12))
+      | Value.Tbool -> map (fun b -> Value.Bool b) bool
+    in
+    frequency [ (1, return Value.Null); (5, v) ])
+
+(* A random schema (arity 1-6) plus schema-conformant rows with NULLs. *)
+let plan_case_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 6) ty_gen >>= fun tys ->
+    list_size (int_range 1 10) (flatten_l (List.map typed_value_gen tys)) >>= fun rows ->
+    return (tys, List.map Array.of_list rows))
+
+(* The specialized codec must be a drop-in for the generic one on
+   schema-conformant data: byte-identical encodings, and every decode
+   path returns the original tuples. *)
+let plan_codec_agrees (tys, rows) =
+  let schema =
+    Schema.of_list (List.mapi (fun i ty -> Schema.attr (Printf.sprintf "c%d" i) ty) tys)
+  in
+  let plan = Codec.plan_of_schema schema in
+  let generic = Buffer.create 256 in
+  let planned = Buffer.create 256 in
+  List.iter (Codec.encode_tuple generic) rows;
+  List.iter (Codec.encode_tuple_plan plan planned) rows;
+  let bytes = Buffer.to_bytes generic in
+  let same_bytes = Buffer.contents generic = Buffer.contents planned in
+  let tuples_eq a b = Array.length a = Array.length b && Array.for_all2 value_eq a b in
+  let pos = ref 0 in
+  let batch = Codec.decode_rows_plan plan bytes ~pos ~count:(List.length rows) in
+  let batch_ok =
+    !pos = Bytes.length bytes && List.for_all2 tuples_eq rows (Array.to_list batch)
+  in
+  let pos = ref 0 in
+  let one_ok =
+    List.for_all (fun row -> tuples_eq row (Codec.decode_tuple_plan plan bytes ~pos)) rows
+  in
+  same_bytes && batch_ok && one_ok
+
+let expect_diag code f =
+  match f () with
+  | exception Subql_relational.Diag.Fail d ->
+    Alcotest.(check string) "diagnostic code" code d.Subql_relational.Diag.code;
+    d
+  | _ -> Alcotest.failf "expected a %s failure" code
+
+let test_codec_structured_errors () =
+  let int_schema = Schema.of_list [ Schema.attr "n" Value.Tint ] in
+  let int_plan = Codec.plan_of_schema int_schema in
+  (* Truncated payload: an int tag with only two payload bytes. *)
+  let truncated = Bytes.of_string "\001\042\000" in
+  ignore (expect_diag "STO002" (fun () -> Codec.decode_value truncated ~pos:(ref 0)));
+  ignore (expect_diag "STO002" (fun () -> Codec.decode_tuple_plan int_plan truncated ~pos:(ref 0)));
+  (* Unknown tag byte: generic says STO001, the plan reports the clash
+     against the declared column (STO003). *)
+  let bad_tag = Bytes.of_string "\250" in
+  ignore (expect_diag "STO001" (fun () -> Codec.decode_value bad_tag ~pos:(ref 0)));
+  ignore (expect_diag "STO003" (fun () -> Codec.decode_tuple_plan int_plan bad_tag ~pos:(ref 0)));
+  (* Type lie: stored int bytes decoded under a float column. *)
+  let buf = Buffer.create 16 in
+  Codec.encode_tuple buf [| Value.Int 7 |];
+  let int_bytes = Buffer.to_bytes buf in
+  let float_plan = Codec.plan_of_schema (Schema.of_list [ Schema.attr "n" Value.Tfloat ]) in
+  ignore (expect_diag "STO003" (fun () -> Codec.decode_tuple_plan float_plan int_bytes ~pos:(ref 0)));
+  (* A NULL under a non-NULL plan is corruption on decode and
+     [Invalid_argument] on encode. *)
+  let nn_plan = Codec.plan_of_schema ~non_null:[| true |] int_schema in
+  let buf = Buffer.create 16 in
+  Codec.encode_tuple buf [| Value.Null |];
+  let null_bytes = Buffer.to_bytes buf in
+  ignore (expect_diag "STO003" (fun () -> Codec.decode_tuple_plan nn_plan null_bytes ~pos:(ref 0)));
+  (match Codec.encode_tuple_plan nn_plan (Buffer.create 16) [| Value.Null |] with
+  | exception Invalid_argument msg ->
+    Alcotest.(check string) "encode message" "Codec: NULL in non-NULL column n" msg
+  | () -> Alcotest.fail "NULL under a non-NULL plan must be rejected");
+  (* The nullable default accepts the NULL. *)
+  Alcotest.(check bool) "nullable plan accepts NULL" true
+    (Codec.decode_tuple_plan int_plan null_bytes ~pos:(ref 0) = [| Value.Null |])
+
 (* --- Heap files ---------------------------------------------------------- *)
 
 let mk_rel n =
@@ -100,6 +193,51 @@ let test_heap_errors () =
       | hf2 ->
         Heap_file.close hf2;
         Alcotest.fail "oversized tuple must be rejected")
+
+(* Both codec modes must read the same file identically — the format is
+   shared; only the decode loop differs. *)
+let test_codec_modes_agree () =
+  let rel = mk_rel 500 in
+  with_file rel ~page_size:512 (fun path _hf ->
+      let pool = Buffer_pool.create ~frames:8 in
+      let generic = Heap_file.openfile ~path ~codec:Codec.Generic ~schema:(Relation.schema rel) () in
+      let plan = Heap_file.openfile ~path ~codec:Codec.Specialized ~schema:(Relation.schema rel) () in
+      Alcotest.(check bool) "generic mode recorded" true (Heap_file.codec_mode generic = Codec.Generic);
+      Alcotest.(check bool) "specialized mode recorded" true
+        (Heap_file.codec_mode plan = Codec.Specialized);
+      Helpers.check_multiset_equal "generic reads the relation" rel
+        (Heap_file.to_relation generic ~pool);
+      Helpers.check_multiset_equal "specialized reads the relation" rel
+        (Heap_file.to_relation plan ~pool);
+      Heap_file.close generic;
+      Heap_file.close plan)
+
+(* Flip one stored tag byte on disk: both decoders must refuse the page
+   with a structured diagnostic that names the file and page. *)
+let test_corrupt_page_is_diagnosed () =
+  let rel = mk_rel 50 in
+  with_file rel ~page_size:512 (fun path _hf ->
+      (* First data page lives at [page_size]; its first tuple's first
+         tag byte sits right after the 2-byte tuple count. *)
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+      ignore (Unix.lseek fd 514 Unix.SEEK_SET);
+      ignore (Unix.write fd (Bytes.make 1 '\250') 0 1);
+      Unix.close fd;
+      let scan_with codec =
+        let hf = Heap_file.openfile ~path ~codec ~schema:(Relation.schema rel) () in
+        Fun.protect
+          ~finally:(fun () -> Heap_file.close hf)
+          (fun () -> Heap_file.scan hf ~pool:(Buffer_pool.create ~frames:4) (fun _ -> ()))
+      in
+      let has_page_context d =
+        List.exists
+          (fun p -> String.length p > 0 && p = Printf.sprintf "%s: page 0" path)
+          d.Diag.path
+      in
+      let d = expect_diag "STO003" (fun () -> scan_with Codec.Specialized) in
+      Alcotest.(check bool) "specialized names the page" true (has_page_context d);
+      let d = expect_diag "STO001" (fun () -> scan_with Codec.Generic) in
+      Alcotest.(check bool) "generic names the page" true (has_page_context d))
 
 (* The three read paths — tuple-at-a-time [scan], page-at-a-time
    [scan_pages] and the pull [source] — must deliver the same tuples in
@@ -326,11 +464,18 @@ let () =
           Helpers.qtest ~count:300 "tuple roundtrip"
             (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 8) value_gen)
             codec_roundtrip;
+          Helpers.qtest ~count:300 "specialized plan agrees with the generic codec" plan_case_gen
+            plan_codec_agrees;
+          Alcotest.test_case "corruption raises structured diagnostics" `Quick
+            test_codec_structured_errors;
         ] );
       ( "heap-file",
         [
           Alcotest.test_case "write/scan/reopen" `Quick test_heap_roundtrip;
           Alcotest.test_case "validation" `Quick test_heap_errors;
+          Alcotest.test_case "codec modes read identically" `Quick test_codec_modes_agree;
+          Alcotest.test_case "a corrupt page names its file and page" `Quick
+            test_corrupt_page_is_diagnosed;
           Alcotest.test_case "source matches scan on a small pool" `Quick
             test_source_matches_scan;
         ] );

@@ -1,0 +1,298 @@
+(* The typed schema layer: derived accessors, the embedded DSL, and
+   code generation.
+
+   The load-bearing property is DSL/SQL front-end agreement: every zoo
+   template rebuilt in the DSL must elaborate to an AST with the same
+   MQO fingerprint as the hand-written (SQL-shaped) original, and must
+   evaluate to the same relation through the full optimize/plan/eval
+   pipeline.  The acceptance floor is 12 of the 24 templates; the DSL
+   expresses all 24. *)
+
+open Subql_relational
+open Subql_typed
+module N = Subql_nested.Nested_ast
+module Zoo = Subql_workload.Zoo
+module Fp = Subql_mqo.Fingerprint
+
+(* Small enough that the naive-evaluation oracle stays fast, big enough
+   that every template returns a non-trivial answer. *)
+let catalog = Zoo.catalog ~outer:16 ~inner:256 ~seed:5L ()
+
+let o_tbl = Derive.of_catalog catalog "O"
+
+let i_tbl = Derive.of_catalog catalog "I"
+
+let j_tbl = Derive.of_catalog catalog "J"
+
+(* Zoo cells are 5% NULL, so the instance-derived nullability is
+   [nullable]; the [_opt] lookups accept either. *)
+let ok = Derive.int_opt o_tbl "k"
+
+let ox = Derive.int_opt o_tbl "x"
+
+let ik = Derive.int_opt i_tbl "k"
+
+let iy = Derive.int_opt i_tbl "y"
+
+let jk = Derive.int_opt j_tbl "k"
+
+let jy = Derive.int_opt j_tbl "y"
+
+(* Every zoo template, rebuilt with the typed combinators.  Correlation
+   is host-language scoping: an inner callback simply uses an enclosing
+   scope's variable. *)
+let dsl_queries : (string * Dsl.query) list =
+  let open Dsl in
+  let corr so si = col si ik ==. col so ok in
+  let local_i si = col si iy >. int 2 in
+  [
+    ( "exists",
+      from o_tbl "o" (fun so -> exists i_tbl "i" ~where:(fun si -> corr so si &&. local_i si))
+    );
+    ("not-exists", from o_tbl "o" (fun so -> not_exists i_tbl "i" ~where:(corr so)));
+    ( "some",
+      from o_tbl "o" (fun so ->
+          some_ (col so ox) Expr.Lt ~where:(corr so) i_tbl "i" ~col:iy) );
+    ( "all-ne",
+      from o_tbl "o" (fun so -> all_ (col so ox) Expr.Ne ~where:local_i i_tbl "i" ~col:iy) );
+    ( "all-gt-correlated",
+      from o_tbl "o" (fun so ->
+          all_ (col so ox) Expr.Gt ~where:(corr so) i_tbl "i" ~col:iy) );
+    ( "scalar",
+      from o_tbl "o" (fun so ->
+          scalar_cmp (col so ox) Expr.Eq ~where:(corr so) i_tbl "i" ~col:iy) );
+    ( "agg-sum",
+      from o_tbl "o" (fun so ->
+          agg_cmp (col so ox) Expr.Lt (fun si -> sum (col si iy)) ~where:(corr so) i_tbl "i")
+    );
+    ( "agg-count",
+      from o_tbl "o" (fun so ->
+          agg_cmp (col so ox) Expr.Ge (fun si -> count (col si iy)) ~where:(corr so) i_tbl "i")
+    );
+    ( "agg-max-uncorrelated",
+      from o_tbl "o" (fun so ->
+          agg_cmp (col so ox) Expr.Gt (fun si -> max_ (col si iy)) i_tbl "i") );
+    ( "in",
+      from o_tbl "o" (fun so -> in_ (col so ox) ~where:local_i i_tbl "i" ~col:iy) );
+    ("not-in", from o_tbl "o" (fun so -> not_in (col so ox) i_tbl "i" ~col:iy));
+    ( "negated-exists",
+      from o_tbl "o" (fun so ->
+          not_ (exists i_tbl "i" ~where:(fun si -> corr so si &&. local_i si))) );
+    ( "negated-some",
+      from o_tbl "o" (fun so ->
+          not_ (some_ (col so ox) Expr.Le ~where:(corr so) i_tbl "i" ~col:iy)) );
+    ( "disjunction",
+      from o_tbl "o" (fun so ->
+          exists i_tbl "i" ~where:(fun si -> corr so si &&. local_i si)
+          ||. (col so ox >. int 3)) );
+    ( "two-subqueries-same-table",
+      from o_tbl "o" (fun so ->
+          exists i_tbl "i" ~where:(fun si -> corr so si &&. local_i si)
+          &&. not_exists i_tbl "i2" ~where:(fun si2 -> col si2 ik ==. col so ox)) );
+    ( "two-subqueries-or",
+      from o_tbl "o" (fun so ->
+          exists i_tbl "i" ~where:(corr so)
+          ||. exists j_tbl "j" ~where:(fun sj -> col sj jk ==. col so ox)) );
+    ( "linear-nesting",
+      from o_tbl "o" (fun so ->
+          exists i_tbl "i" ~where:(fun si ->
+              corr so si
+              &&. exists j_tbl "j" ~where:(fun sj ->
+                      (col sj jk ==. col si ik) &&. (col sj jy <. col si iy)))) );
+    ( "non-neighboring",
+      from o_tbl "o" (fun so ->
+          exists i_tbl "i" ~where:(fun si ->
+              corr so si
+              &&. not_exists j_tbl "j" ~where:(fun sj ->
+                      (col sj jk ==. col si ik) &&. (col sj jy ==. col so ox)))) );
+    ( "double-negation-division",
+      from o_tbl "o" (fun so ->
+          not_exists i_tbl "i" ~where:(fun si ->
+              local_i si
+              &&. not_exists j_tbl "j" ~where:(fun sj ->
+                      (col sj jk ==. col si ik) &&. (col sj jy ==. col so ok)))) );
+    ( "nested-agg",
+      from o_tbl "o" (fun so ->
+          exists i_tbl "i" ~where:(fun si ->
+              corr so si
+              &&. agg_cmp_num (col si iy) Expr.Gt
+                    (fun sj -> avg (col sj jy))
+                    ~where:(fun sj -> col sj jk ==. col si ik)
+                    j_tbl "j")) );
+    ( "distinct-base",
+      from_distinct o_tbl ~cols:[ P ok ] "o" (fun so ->
+          exists i_tbl "i" ~where:(fun si -> col si ik ==. col so ok)) );
+    ( "multi-from",
+      from_product (o_tbl, "a") (i_tbl, "b") (fun sa sb ->
+          (col sa ok ==. col sb ik)
+          &&. exists j_tbl "j" ~where:(fun sj ->
+                  (col sj jk ==. col sa ok) &&. (col sj jy >. col sb iy))) );
+    ( "multi-from-non-neighboring",
+      from_product (o_tbl, "a") (o_tbl, "b") (fun sa sb ->
+          exists i_tbl "i" ~where:(fun si ->
+              (col si ik ==. col sa ok)
+              &&. not_exists j_tbl "j" ~where:(fun sj ->
+                      (col sj jk ==. col si ik) &&. (col sj jy ==. col sb ox)))) );
+    ( "mixed-atoms",
+      from o_tbl "o" (fun so ->
+          is_not_null (col so ok)
+          &&. (exists i_tbl "i" ~where:(corr so) &&. (col so ox <>. int 0))) );
+  ]
+
+let acceptance_floor = 12
+
+(* --- DSL / SQL front-end agreement ----------------------------------- *)
+
+let test_fingerprints_match_zoo () =
+  Alcotest.(check bool) "covers the acceptance floor" true
+    (List.length dsl_queries >= acceptance_floor);
+  List.iter
+    (fun (name, dq) ->
+      let dsl_fp = Fp.of_query (Dsl.to_query dq) in
+      let zoo_fp = Fp.of_query (Zoo.find_query name) in
+      Alcotest.(check string) (Printf.sprintf "%s fingerprint" name) zoo_fp dsl_fp)
+    dsl_queries;
+  Alcotest.(check int) "every template is expressible" (List.length Zoo.queries)
+    (List.length dsl_queries)
+
+let test_results_match_zoo () =
+  List.iter
+    (fun (name, dq) ->
+      let via_dsl =
+        Subql.Eval.eval catalog
+          (Subql.Optimize.optimize (Subql.Transform.to_algebra (Dsl.to_query dq)))
+      in
+      let oracle = Subql_nested.Naive_eval.eval catalog (Zoo.find_query name) in
+      Helpers.check_multiset_equal (Printf.sprintf "%s result" name) oracle via_dsl)
+    dsl_queries
+
+(* Render the DSL's AST to SQL text, parse it back, and compare
+   fingerprints: a DSL query is a first-class citizen of the SQL
+   front-end.  [distinct-base] is the one shape the SQL dialect cannot
+   spell (a DISTINCT projection as a FROM item). *)
+let test_sql_roundtrip () =
+  let skipped = ref 0 in
+  List.iter
+    (fun (name, dq) ->
+      let q = Dsl.to_query dq in
+      match Subql_sql.Render.query_to_sql q with
+      | exception Subql_sql.Render.Unrepresentable _ -> incr skipped
+      | sql ->
+        let parsed = (Subql_sql.Parser.parse sql).Subql_sql.Parser.query in
+        Alcotest.(check string)
+          (Printf.sprintf "%s sql roundtrip" name)
+          (Fp.of_query q) (Fp.of_query parsed))
+    dsl_queries;
+  Alcotest.(check int) "only distinct-base is unrenderable" 1 !skipped
+
+(* --- Derived accessors and their diagnostics -------------------------- *)
+
+let t_schema =
+  Schema.of_list
+    [
+      Schema.attr ~rel:"T" "a" Value.Tint;
+      Schema.attr ~rel:"T" "b" Value.Tint;
+      Schema.attr ~rel:"T" "s" Value.Tstring;
+    ]
+
+let t_rows = [ [| Value.Int 1; Value.Null; Value.Str "x" |]; [| Value.Int 2; Value.Int 5; Value.Str "y" |] ]
+
+let t_catalog = Catalog.of_list [ ("T", Relation.of_list t_schema t_rows) ]
+
+let expect_tyd code f =
+  match f () with
+  | exception Diag.Fail d -> Alcotest.(check string) "diagnostic code" code d.Diag.code
+  | _ -> Alcotest.failf "expected a %s failure" code
+
+let test_derive_accessors () =
+  let t = Derive.of_catalog t_catalog "T" in
+  Alcotest.(check string) "table name" "T" (Derive.name t);
+  (match Derive.of_catalog t_catalog "NOPE" with
+  | exception Catalog.Unknown_table _ -> ()
+  | _ -> Alcotest.fail "unknown table must be rejected");
+  (* Instance nullability: [a] and [s] never hold NULL, [b] does. *)
+  let a = Derive.int_col t "a" in
+  let s = Derive.str_col t "s" in
+  let b = Derive.int_opt t "b" in
+  let row0 = List.nth t_rows 0 and row1 = List.nth t_rows 1 in
+  Alcotest.(check int) "get a" 1 (Col.get a row0);
+  Alcotest.(check string) "get s" "x" (Col.get s row0);
+  Alcotest.(check (option int)) "get_opt NULL" None (Col.get_opt b row0);
+  Alcotest.(check (option int)) "get_opt value" (Some 5) (Col.get_opt b row1);
+  Alcotest.(check (option int)) "widened non-null get_opt" (Some 1)
+    (Col.get_opt (Col.opt a) row0);
+  (* The typed lookups refuse wrong names, types, and nullability. *)
+  expect_tyd "TYD001" (fun () -> Derive.int_col t "nope");
+  expect_tyd "TYD002" (fun () -> Derive.str_col t "a");
+  expect_tyd "TYD003" (fun () -> Derive.int_col t "b");
+  (* Handles used against rows they do not describe fail structurally. *)
+  expect_tyd "TYD004" (fun () -> Col.get a [||]);
+  expect_tyd "TYD005" (fun () -> Col.get a [| Value.Str "lie"; Value.Null; Value.Null |]);
+  (* The derived codec plan carries the per-column NULL-freedom. *)
+  let plan = Derive.codec t in
+  let open Subql_storage in
+  Alcotest.(check bool) "a is non-null in the plan" true plan.Codec.columns.(0).Codec.non_null;
+  Alcotest.(check bool) "b is nullable in the plan" false plan.Codec.columns.(1).Codec.non_null
+
+let test_dsl_scope_errors () =
+  let open Dsl in
+  (* A column of I read through a scope ranging over O. *)
+  expect_tyd "TYD006" (fun () -> from o_tbl "o" (fun so -> col so ik ==. int 1));
+  (* A column projected away by DISTINCT. *)
+  expect_tyd "TYD006" (fun () ->
+      from_distinct o_tbl ~cols:[ P ok ] "o" (fun so -> col so ox ==. int 1));
+  (* A subquery [~col] that belongs to a different table. *)
+  expect_tyd "TYD006" (fun () ->
+      from o_tbl "o" (fun so -> in_ (col so ox) i_tbl "i" ~col:jy))
+
+(* --- Code generation --------------------------------------------------- *)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+let test_codegen () =
+  Alcotest.(check string) "uncapitalized" "sourceIP" (Codegen.ident "SourceIP");
+  Alcotest.(check string) "keyword suffixed" "type_" (Codegen.ident "type");
+  Alcotest.(check string) "reserved suffixed" "row_" (Codegen.ident "row");
+  Alcotest.(check string) "illegal chars mangled" "num_bytes" (Codegen.ident "num bytes");
+  Alcotest.(check string) "digit prefixed" "c9lives" (Codegen.ident "9lives");
+  Alcotest.(check string) "module name" "Flow" (Codegen.module_name "flow");
+  let src = Codegen.table_source (Derive.of_catalog t_catalog "T") in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "emits %S" needle) true (contains ~needle src))
+    [
+      "module T = struct";
+      "let of_tuple";
+      "let to_tuple";
+      "type row = {";
+      (* [a] derived non-null: a bare [int] field; [b] nullable: option. *)
+      "a : int;";
+      "b : int option;";
+      "Subql_typed.Col.Rint\n";
+      "Subql_typed.Col.Rint_opt";
+    ];
+  let whole = Codegen.catalog_source t_catalog in
+  Alcotest.(check bool) "header present" true
+    (contains ~needle:"Generated by [olap_cli schema-gen]" whole)
+
+let () =
+  Alcotest.run "typed"
+    [
+      ( "dsl-sql-agreement",
+        [
+          Alcotest.test_case "fingerprints match the zoo templates" `Quick
+            test_fingerprints_match_zoo;
+          Alcotest.test_case "results match the naive oracle" `Quick test_results_match_zoo;
+          Alcotest.test_case "SQL round-trip preserves the fingerprint" `Quick
+            test_sql_roundtrip;
+        ] );
+      ( "derive",
+        [
+          Alcotest.test_case "typed accessors and diagnostics" `Quick test_derive_accessors;
+          Alcotest.test_case "scope violations are TYD006" `Quick test_dsl_scope_errors;
+        ] );
+      ("codegen", [ Alcotest.test_case "emitted source shape" `Quick test_codegen ]);
+    ]
